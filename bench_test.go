@@ -1,0 +1,105 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) at single-machine scale. Each benchmark prints the corresponding
+// table; timings come from both the Go benchmark framework (real cost) and
+// the virtual-time ledger (modeled distributed cost). See EXPERIMENTS.md.
+package rbcflow_test
+
+import (
+	"io"
+	"math"
+	"os"
+	"testing"
+
+	"rbcflow/internal/experiments"
+	"rbcflow/internal/par"
+)
+
+func sink(b *testing.B) io.Writer {
+	if b.N > 1 {
+		return io.Discard
+	}
+	return os.Stdout
+}
+
+// BenchmarkFig4StrongScaling regenerates the Fig. 4 table: fixed problem,
+// growing rank counts, component breakdown and parallel efficiency.
+func BenchmarkFig4StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.StrongScaling(sink(b), []int{1, 2, 4}, 0, 12, 1)
+		last := rows[len(rows)-1]
+		eff := rows[0].TotalTime / (last.TotalTime * float64(last.Cores))
+		b.ReportMetric(eff, "strong-efficiency")
+	}
+}
+
+// BenchmarkFig5WeakScalingSKX regenerates the Fig. 5 table (SKX machine
+// model, fixed grain per rank).
+func BenchmarkFig5WeakScalingSKX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Ranks step by 4x, matching the paper's 4-way refinement per level.
+		rows := experiments.WeakScaling(sink(b), par.SKX(), []int{1, 4}, 6, 1)
+		last := rows[len(rows)-1]
+		b.ReportMetric(rows[0].TotalTime/last.TotalTime, "weak-efficiency")
+		b.ReportMetric(100*last.VolFraction, "volfrac-%")
+	}
+}
+
+// BenchmarkFig6WeakScalingKNL regenerates the Fig. 6 table (KNL model,
+// smaller grain per rank, slower cores).
+func BenchmarkFig6WeakScalingKNL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.WeakScaling(sink(b), par.KNL(), []int{1, 4}, 3, 1)
+		last := rows[len(rows)-1]
+		b.ReportMetric(rows[0].TotalTime/last.TotalTime, "weak-efficiency")
+	}
+}
+
+// BenchmarkFig7Sedimentation regenerates the Fig. 7 study: lower-half
+// volume fraction increases as cells settle.
+func BenchmarkFig7Sedimentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Sedimentation(sink(b), 10, 2)
+		b.ReportMetric(100*res.VolFrac0, "volfrac0-%")
+		b.ReportMetric(res.MeanZ0-res.MeanZ1, "settling-dist")
+	}
+}
+
+// BenchmarkFig9BoundaryConvergence regenerates the Fig. 9 convergence
+// study: on-surface velocity error vs patch size under refinement.
+func BenchmarkFig9BoundaryConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BoundaryConvergence(sink(b), []int{0, 1})
+		rate := math.Log(rows[0].MaxRelErr/rows[len(rows)-1].MaxRelErr) /
+			math.Log(rows[0].PatchSize/rows[len(rows)-1].PatchSize)
+		b.ReportMetric(rate, "convergence-order")
+		b.ReportMetric(rows[len(rows)-1].MaxRelErr, "final-rel-err")
+	}
+}
+
+// BenchmarkFig11ShearConvergence regenerates the Fig. 11 study: first-order
+// convergence of the collision-aware time stepper.
+func BenchmarkFig11ShearConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ShearConvergence(sink(b), 4, 0.5, []int{2, 4, 8})
+		rate := math.Log(rows[0].CentroidErr/rows[len(rows)-1].CentroidErr) /
+			math.Log(float64(rows[len(rows)-1].Steps)/float64(rows[0].Steps))
+		b.ReportMetric(rate, "dt-order")
+	}
+}
+
+// BenchmarkAblationLocalVsGlobalQuadrature regenerates the §5.2 discussion:
+// the proposed local singular quadrature vs the paper's global scheme.
+func BenchmarkAblationLocalVsGlobalQuadrature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tLocal, tGlobal := experiments.AblationLocalVsGlobal(sink(b), 1)
+		b.ReportMetric(tGlobal/tLocal, "global/local-speedup")
+	}
+}
+
+// BenchmarkFig1VesselDemo runs a scaled instance of the Fig. 1 demo: a
+// filled vascular channel advancing one coupled step.
+func BenchmarkFig1VesselDemo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.StrongScaling(io.Discard, []int{2}, 0, 10, 1)
+	}
+}

@@ -1,0 +1,36 @@
+// Command convergence regenerates the paper's verification studies:
+//
+//	convergence -exp fig9    // boundary-solver convergence (Fig. 9)
+//	convergence -exp fig11   // collision-aware time stepping (Fig. 11)
+//	convergence -exp ablation // local vs global singular quadrature (§5.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rbcflow/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "fig9", "fig9 | fig11 | ablation")
+	order := flag.Int("order", 8, "spherical harmonic order (fig11)")
+	deep := flag.Bool("deep", false, "include the expensive level-2 refinement (fig9)")
+	flag.Parse()
+	switch *exp {
+	case "fig9":
+		levels := []int{0, 1}
+		if *deep {
+			levels = append(levels, 2)
+		}
+		experiments.BoundaryConvergence(os.Stdout, levels)
+	case "fig11":
+		experiments.ShearConvergence(os.Stdout, *order, 1.0, []int{2, 4, 8, 16})
+	case "ablation":
+		experiments.AblationLocalVsGlobal(os.Stdout, 1)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown experiment", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+// Command scaling regenerates the paper's scaling studies:
+//
+//	scaling -mode strong               // Fig. 4 table
+//	scaling -mode weak  -machine skx   // Fig. 5 table
+//	scaling -mode weak  -machine knl   // Fig. 6 table
+//
+// Rank counts, problem sizes and step counts are flags; parallel efficiency
+// is computed on the virtual-time ledger (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rbcflow/internal/experiments"
+	"rbcflow/internal/par"
+)
+
+func main() {
+	mode := flag.String("mode", "strong", "strong | weak")
+	machine := flag.String("machine", "skx", "skx | knl (weak scaling)")
+	ranksFlag := flag.String("ranks", "1,2,4,8", "comma-separated rank counts")
+	cells := flag.Int("cells", 24, "total cells (strong) or cells per rank (weak)")
+	level := flag.Int("level", 0, "vessel refinement level (strong)")
+	steps := flag.Int("steps", 2, "time steps per configuration")
+	flag.Parse()
+
+	var ranks []int
+	for _, s := range strings.Split(*ranksFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad rank list:", err)
+			os.Exit(1)
+		}
+		ranks = append(ranks, v)
+	}
+	switch *mode {
+	case "strong":
+		experiments.StrongScaling(os.Stdout, ranks, *level, *cells, *steps)
+	case "weak":
+		m := par.SKX()
+		if *machine == "knl" {
+			m = par.KNL()
+		}
+		experiments.WeakScaling(os.Stdout, m, ranks, *cells, *steps)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown mode", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Command sediment regenerates the high-volume-fraction sedimentation study
+// of paper Fig. 7 at configurable scale.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"rbcflow/internal/experiments"
+)
+
+func main() {
+	cells := flag.Int("cells", 14, "maximum number of cells")
+	steps := flag.Int("steps", 4, "time steps")
+	flag.Parse()
+	experiments.Sedimentation(os.Stdout, *cells, *steps)
+}

@@ -1,0 +1,38 @@
+// Quickstart: two red blood cells in a free-space shear flow u = [z, 0, 0]
+// (the Fig. 10 configuration). Prints the centroid trajectories, showing the
+// cells tumbling past each other without contact.
+package main
+
+import (
+	"fmt"
+
+	"rbcflow"
+)
+
+func main() {
+	cfg := rbcflow.Config{
+		SphOrder: 8, Mu: 1, KappaB: 0.05, Dt: 0.05, MinSep: 0.05,
+		Background:  func(x [3]float64) [3]float64 { return [3]float64{x[2], 0, 0} },
+		CollisionOn: true,
+		FMM:         rbcflow.FMMConfig{DirectBelow: 1 << 40},
+	}
+	cells := []*rbcflow.Cell{
+		rbcflow.NewBiconcaveCell(8, 1, [3]float64{-2, 0, 0.4}),
+		rbcflow.NewBiconcaveCell(8, 1, [3]float64{2, 0, -0.4}),
+	}
+	fmt.Println("two RBCs in shear flow (paper Fig. 10)")
+	fmt.Println("step   cell0.x  cell0.z   cell1.x  cell1.z  contacts")
+	world := rbcflow.Run(1, rbcflow.SKX(), func(c *rbcflow.Comm) {
+		sim := rbcflow.NewSimulation(c, cfg, cells, nil, nil)
+		for step := 0; step <= 10; step++ {
+			var st rbcflow.StepStats
+			if step > 0 {
+				st = sim.Step(c)
+			}
+			cen := sim.Centroids()
+			fmt.Printf("%4d   %+.4f  %+.4f   %+.4f  %+.4f   %d\n",
+				step, cen[0][0], cen[0][2], cen[1][0], cen[1][2], st.Contacts)
+		}
+	})
+	fmt.Printf("modeled wall time: %.3fs, breakdown: %v\n", world.VirtualTime(), world.TimeByLabel())
+}

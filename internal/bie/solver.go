@@ -1,0 +1,450 @@
+package bie
+
+import (
+	"math"
+
+	"rbcflow/internal/fmm"
+	"rbcflow/internal/forest"
+	"rbcflow/internal/kernels"
+	"rbcflow/internal/la"
+	"rbcflow/internal/par"
+)
+
+// Mode selects how the double-layer operator is applied.
+type Mode int
+
+const (
+	// ModeLocal: coarse-grid FMM + precomputed local singular corrections
+	// (the scheme proposed in the paper's §5.2 Discussion; default).
+	ModeLocal Mode = iota
+	// ModeGlobal: fine-grid FMM at all check points every matvec (the
+	// paper's main scheme, §3.1).
+	ModeGlobal
+)
+
+// corrBlock is a precomputed local correction: the contribution of one near
+// patch's coarse density to one target, combining −(coarse direct) with
+// +(extrapolated fine quadrature); a 3 × 3·NQ matrix.
+type corrBlock struct {
+	pid int
+	m   []float64 // row-major 3 x 3NQ
+}
+
+// Solver applies and inverts the Nyström system (paper Eq. 3.5).
+type Solver struct {
+	S    *Surface
+	Mode Mode
+
+	eval *fmm.Evaluator
+
+	// Rank-local data (fixed at construction for a given comm geometry).
+	rank, size   int
+	patchLo      int
+	patchHi      int
+	nodeLo       int
+	nodeHi       int
+	corr         [][]corrBlock // per owned node
+	checkPts     [][3]float64  // owned nodes' check points, (p+1) per node
+	gmresHistory []la.GMRESResult
+}
+
+// FMMConfig bundles the FMM accuracy knobs.
+type FMMConfig struct {
+	Order       int
+	LeafSize    int
+	DirectBelow int
+}
+
+// NewSolver builds the solver for this rank's patch range, precomputing the
+// local correction operator when mode == ModeLocal (possible because Γ is
+// rigid; amortized over every time step of the simulation).
+func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
+	sv := &Solver{S: s, Mode: mode, rank: c.Rank(), size: c.Size()}
+	sv.patchLo, sv.patchHi = s.F.OwnerRange(sv.size, sv.rank)
+	sv.nodeLo, sv.nodeHi = sv.patchLo*s.NQ, sv.patchHi*s.NQ
+	sv.eval = fmm.NewEvaluator(fmm.Config{
+		Kernel:      kernels.StokesDoubleTensor{},
+		Order:       fc.Order,
+		LeafSize:    fc.LeafSize,
+		DirectBelow: fc.DirectBelow,
+	})
+
+	// Check points for every owned (on-surface) node.
+	p := s.P.ExtrapOrder
+	nOwned := sv.nodeHi - sv.nodeLo
+	sv.checkPts = make([][3]float64, nOwned*(p+1))
+	for k := 0; k < nOwned; k++ {
+		g := sv.nodeLo + k
+		cps := s.CheckPoints(s.Pts[g], s.Nrm[g], s.L[s.PatchOf(g)])
+		copy(sv.checkPts[k*(p+1):(k+1)*(p+1)], cps)
+	}
+
+	if mode == ModeLocal {
+		sv.precomputeCorrections()
+	}
+	c.Barrier()
+	return sv
+}
+
+// nearPatches returns the patches within their own near-zone distance of x;
+// selfPid (if >= 0) is always included without a distance test.
+func (s *Surface) nearPatches(x [3]float64, selfPid int) []int {
+	var out []int
+	for j, pp := range s.F.Patches {
+		if j == selfPid {
+			out = append(out, j)
+			continue
+		}
+		dEps := s.P.NearFactor * s.L[j]
+		lo, hi := pp.BBox(0)
+		if boxDist(x, lo, hi) > dEps {
+			continue
+		}
+		if _, _, _, dist := pp.ClosestPoint(x); dist <= dEps {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func boxDist(x [3]float64, lo, hi [3]float64) float64 {
+	var d2 float64
+	for d := 0; d < 3; d++ {
+		if x[d] < lo[d] {
+			d2 += (lo[d] - x[d]) * (lo[d] - x[d])
+		} else if x[d] > hi[d] {
+			d2 += (x[d] - hi[d]) * (x[d] - hi[d])
+		}
+	}
+	return math.Sqrt(d2)
+}
+
+// precomputeCorrections assembles, for every owned target node, the combined
+// correction blocks  −W(x)·ϕ_near + Σ_i e_i W^up(c_i)·U·ϕ_near
+// (paper Eqs. 3.1–3.4 restricted to near patches).
+func (sv *Solver) precomputeCorrections() {
+	s := sv.S
+	p := s.P.ExtrapOrder
+	nq := s.NQ
+	nqf := s.NQF
+	sv.corr = make([][]corrBlock, sv.nodeHi-sv.nodeLo)
+	fineBlock := make([]float64, 3*3*nqf)
+	for k := 0; k < sv.nodeHi-sv.nodeLo; k++ {
+		g := sv.nodeLo + k
+		x := s.Pts[g]
+		own := s.PatchOf(g)
+		cps := sv.checkPts[k*(p+1) : (k+1)*(p+1)]
+		for _, j := range s.nearPatches(x, own) {
+			m := make([]float64, 3*3*nq)
+			// −(coarse direct) part.
+			for mm := 0; mm < nq; mm++ {
+				idx := j*nq + mm
+				addDLBlock(m, 3*nq, mm, x, s.Pts[idx], s.Nrm[idx], -s.W[idx])
+			}
+			// +Σ_i e_i (fine direct at check points), then compose with the
+			// upsampling operator.
+			for i := range fineBlock {
+				fineBlock[i] = 0
+			}
+			for ci, cp := range cps {
+				e := s.ExtrapW[ci]
+				for mf := 0; mf < nqf; mf++ {
+					idx := j*nqf + mf
+					addDLBlock(fineBlock, 3*nqf, mf, cp, s.FinePts[idx], s.FineNrm[idx], e*s.FineW[idx])
+				}
+			}
+			composeWithUp(m, fineBlock, s.Up, nq, nqf)
+			sv.corr[k] = append(sv.corr[k], corrBlock{pid: j, m: m})
+		}
+	}
+}
+
+// addDLBlock accumulates w·D(x,y;n) into the 3×3 sub-block of m at source
+// node mm (row stride is the full row length).
+func addDLBlock(m []float64, stride, mm int, x, y, n [3]float64, w float64) {
+	rx, ry, rz := x[0]-y[0], x[1]-y[1], x[2]-y[2]
+	r2 := rx*rx + ry*ry + rz*rz
+	if r2 == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(r2)
+	inv5 := inv * inv * inv * inv * inv
+	rdotN := rx*n[0] + ry*n[1] + rz*n[2]
+	c := -3 / (4 * math.Pi) * inv5 * rdotN * w
+	r := [3]float64{rx, ry, rz}
+	for a := 0; a < 3; a++ {
+		row := m[a*stride:]
+		for b := 0; b < 3; b++ {
+			row[3*mm+b] += c * r[a] * r[b]
+		}
+	}
+}
+
+// composeWithUp adds fine·(U ⊗ I₃) into m: m[a][3mc+b] += Σ_mf fine[a][3mf+b]·Up[mf][mc].
+func composeWithUp(m, fine []float64, up *la.Dense, nq, nqf int) {
+	for a := 0; a < 3; a++ {
+		frow := fine[a*3*nqf:]
+		mrow := m[a*3*nq:]
+		for mf := 0; mf < nqf; mf++ {
+			urow := up.Row(mf)
+			f0, f1, f2 := frow[3*mf], frow[3*mf+1], frow[3*mf+2]
+			if f0 == 0 && f1 == 0 && f2 == 0 {
+				continue
+			}
+			for mc := 0; mc < nq; mc++ {
+				u := urow[mc]
+				if u == 0 {
+					continue
+				}
+				mrow[3*mc] += u * f0
+				mrow[3*mc+1] += u * f1
+				mrow[3*mc+2] += u * f2
+			}
+		}
+	}
+}
+
+// Apply computes the Nyström operator (1/2 I + D + N)ϕ for the rank-local
+// density segment (owned patches, 3·NQ values each). Collective.
+func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
+	s := sv.S
+	nq := s.NQ
+	nOwned := sv.nodeHi - sv.nodeLo
+
+	// Null-space completion: scalar ∫ n·ϕ dS over all of Γ.
+	var flux float64
+	for k := 0; k < nOwned; k++ {
+		g := sv.nodeLo + k
+		n := s.Nrm[g]
+		flux += (n[0]*phiLocal[3*k] + n[1]*phiLocal[3*k+1] + n[2]*phiLocal[3*k+2]) * s.W[g]
+	}
+	fluxArr := []float64{flux}
+
+	var u []float64
+	if sv.Mode == ModeLocal {
+		// Coarse FMM over all nodes at owned nodes.
+		srcPos := s.Pts[sv.nodeLo:sv.nodeHi]
+		srcQ := make([]float64, nOwned*9)
+		for k := 0; k < nOwned; k++ {
+			g := sv.nodeLo + k
+			kernels.TensorStrength(srcQ[k*9:(k+1)*9], phiLocal[3*k:3*k+3], s.Nrm[g], s.W[g])
+		}
+		prev := c.Label()
+		c.SetLabel("BIE-FMM")
+		u = fmm.EvaluateDist(c, sv.eval, srcPos, srcQ, s.Pts[sv.nodeLo:sv.nodeHi])
+		c.SetLabel(prev)
+
+		phiAll, _ := par.AllgathervFlat(c, phiLocal)
+		c.AllreduceSum(fluxArr)
+		for k := 0; k < nOwned; k++ {
+			dst := u[3*k : 3*k+3]
+			for _, cb := range sv.corr[k] {
+				seg := phiAll[cb.pid*3*nq : (cb.pid+1)*3*nq]
+				for a := 0; a < 3; a++ {
+					row := cb.m[a*3*nq : (a+1)*3*nq]
+					var acc float64
+					for i, v := range row {
+						acc += v * seg[i]
+					}
+					dst[a] += acc
+				}
+			}
+		}
+	} else {
+		// Global mode: upsample owned density, evaluate at check points via
+		// one fine-grid FMM, extrapolate.
+		p := s.P.ExtrapOrder
+		nPatchOwned := sv.patchHi - sv.patchLo
+		finePos := s.FinePts[sv.patchLo*s.NQF : sv.patchHi*s.NQF]
+		fineQ := make([]float64, nPatchOwned*s.NQF*9)
+		phiF := make([]float64, 3*s.NQF)
+		for pi := 0; pi < nPatchOwned; pi++ {
+			s.UpsampleDensity(phiLocal[pi*3*nq:(pi+1)*3*nq], phiF)
+			for mf := 0; mf < s.NQF; mf++ {
+				gf := (sv.patchLo+pi)*s.NQF + mf
+				kernels.TensorStrength(fineQ[(pi*s.NQF+mf)*9:(pi*s.NQF+mf+1)*9],
+					phiF[3*mf:3*mf+3], s.FineNrm[gf], s.FineW[gf])
+			}
+		}
+		prev := c.Label()
+		c.SetLabel("BIE-FMM")
+		uChk := fmm.EvaluateDist(c, sv.eval, finePos, fineQ, sv.checkPts)
+		c.SetLabel(prev)
+		c.AllreduceSum(fluxArr)
+
+		u = make([]float64, 3*nOwned)
+		for k := 0; k < nOwned; k++ {
+			for ci := 0; ci <= p; ci++ {
+				e := s.ExtrapW[ci]
+				src := uChk[(k*(p+1)+ci)*3 : (k*(p+1)+ci)*3+3]
+				u[3*k] += e * src[0]
+				u[3*k+1] += e * src[1]
+				u[3*k+2] += e * src[2]
+			}
+		}
+	}
+
+	// + N ϕ. The ½ϕ jump of (1/2 I + D)ϕ is already contained in the
+	// extrapolated interior limit (check points lie inside the fluid, and
+	// the near-patch extrapolation captures the jump): for constant ϕ₀ the
+	// identity Dϕ₀ = ϕ₀ inside makes the operator value exactly ϕ₀, which is
+	// (1/2 + 1/2)ϕ₀ in the paper's PV notation.
+	for k := 0; k < nOwned; k++ {
+		g := sv.nodeLo + k
+		n := s.Nrm[g]
+		for a := 0; a < 3; a++ {
+			u[3*k+a] += n[a] * fluxArr[0]
+		}
+	}
+	return u
+}
+
+// Solve runs distributed GMRES on (1/2 I + D + N)ϕ = rhs, where rhs is the
+// rank-local right-hand side segment. phi0 is the initial guess (may be
+// nil). Returns the rank-local solution and the GMRES diagnostics. maxIter
+// mirrors the paper's 30-iteration cap (§5.1).
+func (sv *Solver) Solve(c *par.Comm, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, la.GMRESResult) {
+	n := len(rhs)
+	x := make([]float64, n)
+	if phi0 != nil {
+		copy(x, phi0)
+	}
+	dot := func(a, b []float64) float64 {
+		v := []float64{la.Dot(a, b)}
+		c.AllreduceSum(v)
+		return v[0]
+	}
+	apply := func(dst, v []float64) {
+		copy(dst, sv.Apply(c, v))
+	}
+	res, err := la.GMRES(apply, rhs, x, la.GMRESOptions{
+		Tol: tol, MaxIters: maxIter, Restart: maxIter, Dot: dot,
+	})
+	if err != nil {
+		panic("bie: GMRES failure: " + err.Error())
+	}
+	sv.gmresHistory = append(sv.gmresHistory, res)
+	return x, res
+}
+
+// LastGMRES returns the diagnostics of the most recent solve (zero value if
+// none).
+func (sv *Solver) LastGMRES() la.GMRESResult {
+	if len(sv.gmresHistory) == 0 {
+		return la.GMRESResult{}
+	}
+	return sv.gmresHistory[len(sv.gmresHistory)-1]
+}
+
+// EvalVelocity computes u^Γ = Dϕ at arbitrary rank-local targets, using the
+// coarse FMM plus on-the-fly near-singular corrections for targets whose
+// closest-point data cls marks them inside a near zone. Collective.
+func (sv *Solver) EvalVelocity(c *par.Comm, phiLocal []float64, targets [][3]float64, cls []forest.Closest) []float64 {
+	s := sv.S
+	nq := s.NQ
+	nOwned := sv.nodeHi - sv.nodeLo
+
+	srcPos := s.Pts[sv.nodeLo:sv.nodeHi]
+	srcQ := make([]float64, nOwned*9)
+	for k := 0; k < nOwned; k++ {
+		g := sv.nodeLo + k
+		kernels.TensorStrength(srcQ[k*9:(k+1)*9], phiLocal[3*k:3*k+3], s.Nrm[g], s.W[g])
+	}
+	prev := c.Label()
+	c.SetLabel("BIE-FMM")
+	u := fmm.EvaluateDist(c, sv.eval, srcPos, srcQ, targets)
+	c.SetLabel(prev)
+	phiAll, _ := par.AllgathervFlat(c, phiLocal)
+
+	phiF := make([]float64, 3*s.NQF)
+	for ti, x := range targets {
+		if ti >= len(cls) || cls[ti].PatchID < 0 {
+			continue
+		}
+		cl := cls[ti]
+		L := s.L[cl.PatchID]
+		if cl.Dist > s.P.NearFactor*L {
+			continue
+		}
+		// Fluid-side check: target must be on the −n side of Γ.
+		n := s.F.Patches[cl.PatchID].Normal(cl.U, cl.V)
+		sideDot := (cl.Y[0]-x[0])*n[0] + (cl.Y[1]-x[1])*n[1] + (cl.Y[2]-x[2])*n[2]
+		if sideDot < 0 {
+			continue
+		}
+		cps := s.CheckPoints(cl.Y, n, L)
+		ew := s.ExtrapolateTo(cl.Dist / L)
+		dst := u[3*ti : 3*ti+3]
+		for _, j := range s.nearPatches(x, cl.PatchID) {
+			// Subtract the inaccurate coarse contribution of patch j.
+			for mm := 0; mm < nq; mm++ {
+				idx := j*nq + mm
+				kernels.DoubleLayerVel(dst, x, s.Pts[idx], s.Nrm[idx],
+					phiAll[idx*3:idx*3+3], -s.W[idx])
+			}
+			// Add the extrapolated fine contribution.
+			s.UpsampleDensity(phiAll[j*3*nq:(j+1)*3*nq], phiF)
+			for ci, cp := range cps {
+				e := ew[ci]
+				var uc [3]float64
+				for mf := 0; mf < s.NQF; mf++ {
+					idx := j*s.NQF + mf
+					kernels.DoubleLayerVel(uc[:], cp, s.FinePts[idx], s.FineNrm[idx],
+						phiF[3*mf:3*mf+3], s.FineW[idx])
+				}
+				dst[0] += e * uc[0]
+				dst[1] += e * uc[1]
+				dst[2] += e * uc[2]
+			}
+		}
+	}
+	return u
+}
+
+// OnSurfaceVelocity evaluates Dϕ + ϕ/2 + Nϕ... no: it evaluates the flow
+// velocity limit at arbitrary on-surface points (different from the Nyström
+// nodes) for verification (Fig. 9): u(x) = extrapolated Dϕ(x) + ϕ(x)/2,
+// where ϕ(x) is interpolated from the patch's coarse grid.
+func (sv *Solver) OnSurfaceVelocity(c *par.Comm, phiLocal []float64, pid int, uu, vv float64) [3]float64 {
+	s := sv.S
+	nq := s.NQ
+	pp := s.F.Patches[pid]
+	x := pp.Eval(uu, vv)
+	n := pp.Normal(uu, vv)
+	phiAll, _ := par.AllgathervFlat(c, phiLocal)
+
+	// Interface limit = Dϕ(x⁻) evaluated by the unified scheme with t = 0,
+	// which already includes the jump term; reuse EvalVelocity mechanics.
+	cl := forest.Closest{PatchID: pid, U: uu, V: vv, Y: x, Dist: 0}
+	// Build a one-target local call: coarse FMM replaced by direct coarse sum
+	// over every patch (verification-scale geometry).
+	var u [3]float64
+	for k, y := range s.Pts {
+		kernels.DoubleLayerVel(u[:], x, y, s.Nrm[k], phiAll[3*k:3*k+3], s.W[k])
+	}
+	phiF := make([]float64, 3*s.NQF)
+	cps := s.CheckPoints(cl.Y, n, s.L[pid])
+	ew := s.ExtrapW
+	for _, j := range s.nearPatches(x, pid) {
+		for mm := 0; mm < nq; mm++ {
+			idx := j*nq + mm
+			kernels.DoubleLayerVel(u[:], x, s.Pts[idx], s.Nrm[idx], phiAll[idx*3:idx*3+3], -s.W[idx])
+		}
+		s.UpsampleDensity(phiAll[j*3*nq:(j+1)*3*nq], phiF)
+		for ci, cp := range cps {
+			e := ew[ci]
+			var uc [3]float64
+			for mf := 0; mf < s.NQF; mf++ {
+				idx := j*s.NQF + mf
+				kernels.DoubleLayerVel(uc[:], cp, s.FinePts[idx], s.FineNrm[idx], phiF[3*mf:3*mf+3], s.FineW[idx])
+			}
+			u[0] += e * uc[0]
+			u[1] += e * uc[1]
+			u[2] += e * uc[2]
+		}
+	}
+	// The extrapolated limit of Dϕ from inside already equals the interface
+	// value (1/2ϕ + PV Dϕ); no extra jump term is added. The N-term is part
+	// of the operator, not of the represented velocity.
+	return u
+}

@@ -1,0 +1,121 @@
+package collision
+
+import (
+	"math"
+
+	"rbcflow/internal/patch"
+	"rbcflow/internal/quadrature"
+	"rbcflow/internal/rbc"
+	"rbcflow/internal/sht"
+)
+
+// MeshFromCell builds the triangle proxy mesh of an RBC from its grid
+// points plus two pole vertices (the paper's 2,112-point collision mesh is
+// the analogous upsampled grid; here the quadrature grid is reused, see
+// DESIGN.md).
+func MeshFromCell(id int, c *rbc.Cell) *Mesh {
+	g := c.Grid
+	n := g.NumPoints()
+	m := &Mesh{ID: id}
+	m.V = make([][3]float64, n+2)
+	copy(m.V, c.Points())
+	// Pole vertices from the spherical-harmonic expansion.
+	var co [3]*sht.Coeffs
+	for d := 0; d < 3; d++ {
+		co[d] = g.Forward(c.X[d])
+	}
+	for d := 0; d < 3; d++ {
+		m.V[n][d] = sht.EvalAt(co[d], 0, 0)
+		m.V[n+1][d] = sht.EvalAt(co[d], math.Pi, 0)
+	}
+	// Triangles: lat-lon quads split in two, plus pole fans.
+	for i := 0; i+1 < g.Nlat; i++ {
+		for j := 0; j < g.Nlon; j++ {
+			j2 := (j + 1) % g.Nlon
+			a, b := g.Index(i, j), g.Index(i, j2)
+			cIdx, dIdx := g.Index(i+1, j), g.Index(i+1, j2)
+			m.Tri = append(m.Tri, [3]int{a, b, cIdx}, [3]int{b, dIdx, cIdx})
+		}
+	}
+	for j := 0; j < g.Nlon; j++ {
+		j2 := (j + 1) % g.Nlon
+		m.Tri = append(m.Tri, [3]int{n, g.Index(0, j2), g.Index(0, j)})
+		m.Tri = append(m.Tri, [3]int{n + 1, g.Index(g.Nlat-1, j), g.Index(g.Nlat-1, j2)})
+	}
+	// Vertex weights ~ surface area / vertex count (uniform approximation).
+	geo := c.ComputeGeometry()
+	area := c.AreaWith(geo)
+	m.VertW = make([]float64, n+2)
+	for i := range m.VertW {
+		m.VertW[i] = area / float64(n+2)
+	}
+	m.VNext = make([][3]float64, len(m.V))
+	copy(m.VNext, m.V)
+	return m
+}
+
+// SyncMeshFromCell refreshes V/VNext from current and candidate cell
+// positions. next may be nil (VNext = V).
+func SyncMeshFromCell(m *Mesh, cur, next *rbc.Cell) {
+	g := cur.Grid
+	n := g.NumPoints()
+	copy(m.V, cur.Points())
+	var co [3]*sht.Coeffs
+	for d := 0; d < 3; d++ {
+		co[d] = g.Forward(cur.X[d])
+		m.V[n][d] = sht.EvalAt(co[d], 0, 0)
+		m.V[n+1][d] = sht.EvalAt(co[d], math.Pi, 0)
+	}
+	if next == nil {
+		copy(m.VNext, m.V)
+		return
+	}
+	copy(m.VNext, next.Points())
+	for d := 0; d < 3; d++ {
+		cn := g.Forward(next.X[d])
+		m.VNext[n][d] = sht.EvalAt(cn, 0, 0)
+		m.VNext[n+1][d] = sht.EvalAt(cn, math.Pi, 0)
+	}
+}
+
+// ApplyMeshDisplacement transfers the collision displacement of the mesh
+// back to the cell's candidate grid positions (grid vertices map 1:1; pole
+// displacements are dropped — poles are not grid unknowns).
+func ApplyMeshDisplacement(m *Mesh, before [][3]float64, cell *rbc.Cell) {
+	g := cell.Grid
+	n := g.NumPoints()
+	for k := 0; k < n; k++ {
+		for d := 0; d < 3; d++ {
+			cell.X[d][k] += m.VNext[k][d] - before[k][d]
+		}
+	}
+}
+
+// MeshFromPatch builds the rigid triangle proxy of a vessel patch from an
+// equispaced sample grid (the paper uses 484 = 22² equispaced points per
+// patch; the density is configurable).
+func MeshFromPatch(id int, pp *patch.Patch, samples int) *Mesh {
+	s := quadrature.EquispacedSamples(samples)
+	m := &Mesh{ID: id, Rigid: true}
+	for i := 0; i < samples; i++ {
+		for j := 0; j < samples; j++ {
+			m.V = append(m.V, pp.Eval(s[i], s[j]))
+		}
+	}
+	for i := 0; i+1 < samples; i++ {
+		for j := 0; j+1 < samples; j++ {
+			a := i*samples + j
+			b := i*samples + j + 1
+			c := (i+1)*samples + j
+			d := (i+1)*samples + j + 1
+			m.Tri = append(m.Tri, [3]int{a, b, c}, [3]int{b, d, c})
+		}
+	}
+	m.VertW = make([]float64, len(m.V))
+	area := pp.Area()
+	for i := range m.VertW {
+		m.VertW[i] = area / float64(len(m.V))
+	}
+	m.VNext = m.V
+	return m
+}

@@ -1,0 +1,427 @@
+// Package core orchestrates the full per-step algorithm of paper §2.2:
+// membrane forces, the free-space cell field u^fr on Γ, the boundary solve
+// for ϕ, the velocity correction u^Γ on cells, the explicit inter-cell
+// term, the per-cell locally-implicit update, and the collision NCP loop —
+// with the timing breakdown of §5.2 (COL, BIE-solve, BIE-FMM, Other-FMM,
+// Other) accumulated in the par.World virtual-time ledger.
+package core
+
+import (
+	"math"
+
+	"rbcflow/internal/bie"
+	"rbcflow/internal/collision"
+	"rbcflow/internal/fmm"
+	"rbcflow/internal/forest"
+	"rbcflow/internal/kernels"
+	"rbcflow/internal/par"
+	"rbcflow/internal/rbc"
+)
+
+// Config configures a simulation.
+type Config struct {
+	SphOrder int     // spherical-harmonic order of cells
+	Mu       float64 // ambient viscosity
+	KappaB   float64 // bending modulus
+	Dt       float64
+	MinSep   float64 // collision separation distance
+	// Background is an imposed free-space flow (e.g. shear u = [γ̇ z, 0, 0]);
+	// nil for none.
+	Background func(x [3]float64) [3]float64
+	// Gravity is a uniform body-force density on membranes.
+	Gravity [3]float64
+	// BIE/GMRES controls.
+	BIEParams   bie.Params
+	BIEMode     bie.Mode
+	FMM         bie.FMMConfig
+	GMRESMax    int     // boundary-solve iteration cap (paper: 30)
+	GMRESTol    float64 // boundary-solve tolerance
+	FilterEvery int     // apply the spectral filter every k steps (0 = off)
+	CollisionOn bool
+}
+
+// Defaults fills zero fields with sensible values.
+func (c *Config) Defaults() {
+	if c.SphOrder == 0 {
+		c.SphOrder = 8
+	}
+	if c.Mu == 0 {
+		c.Mu = 1
+	}
+	if c.KappaB == 0 {
+		c.KappaB = 0.01
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.05
+	}
+	if c.GMRESMax == 0 {
+		c.GMRESMax = 30
+	}
+	if c.GMRESTol == 0 {
+		c.GMRESTol = 1e-4
+	}
+	if c.MinSep == 0 {
+		c.MinSep = 0.05
+	}
+}
+
+// Simulation owns the rank-local state: this rank's cells and, when a
+// vessel is present, the shared surface and the rank's patch range.
+type Simulation struct {
+	Cfg Config
+	// Cells are the rank-local cells; CellIDOffset maps local index i to
+	// global id CellIDOffset+i.
+	Cells        []*rbc.Cell
+	CellIDOffset int
+	totalCells   int
+
+	Surf   *bie.Surface
+	Solver *bie.Solver
+	G      []float64 // boundary condition at owned nodes (3 per node)
+	phi    []float64 // warm-started density
+
+	sq          *rbc.SingularQuad
+	patchMeshes []*collision.Mesh
+	stokes      *fmm.Evaluator
+
+	// Stats of the most recent step.
+	LastStats StepStats
+}
+
+// StepStats summarizes one step.
+type StepStats struct {
+	GMRESIters     int
+	Contacts       int
+	NCPIters       int
+	CellsInContact int
+}
+
+// New builds a simulation. cells are the global cell list; each rank keeps
+// its block. surf may be nil (free-space flow, as in the shear and
+// sedimentation studies). g is the boundary condition sampled at ALL coarse
+// nodes (3 per node); may be nil for zero (no-slip).
+func New(c *par.Comm, cfg Config, cells []*rbc.Cell, surf *bie.Surface, g []float64) *Simulation {
+	cfg.Defaults()
+	s := &Simulation{Cfg: cfg, Surf: surf, totalCells: len(cells)}
+	lo, hi := par.BlockRange(len(cells), c.Size(), c.Rank())
+	s.Cells = cells[lo:hi]
+	s.CellIDOffset = lo
+	s.sq = rbc.NewSingularQuad(cfg.SphOrder)
+	s.stokes = fmm.NewEvaluator(fmm.Config{
+		Kernel:      kernels.Stokeslet{Mu: cfg.Mu},
+		Order:       cfg.FMM.Order,
+		LeafSize:    cfg.FMM.LeafSize,
+		DirectBelow: cfg.FMM.DirectBelow,
+	})
+	if surf != nil {
+		s.Solver = bie.NewSolver(c, surf, cfg.BIEMode, cfg.FMM)
+		plo, phi := surf.F.OwnerRange(c.Size(), c.Rank())
+		nOwn := (phi - plo) * surf.NQ
+		s.G = make([]float64, 3*nOwn)
+		if g != nil {
+			copy(s.G, g[plo*surf.NQ*3:phi*surf.NQ*3])
+		}
+		s.phi = make([]float64, 3*nOwn)
+		// Rigid patch collision meshes (replicated; IDs after all cells).
+		for pid, pp := range surf.F.Patches {
+			s.patchMeshes = append(s.patchMeshes, collision.MeshFromPatch(s.totalCells+pid, pp, 8))
+		}
+	}
+	c.Barrier()
+	return s
+}
+
+// cellForce computes f = f_b + gravity for one cell.
+func (s *Simulation) cellForce(cell *rbc.Cell, geo *rbc.Geometry) [3][]float64 {
+	f := cell.BendingForce(s.Cfg.KappaB, geo)
+	gv := s.Cfg.Gravity
+	if gv != [3]float64{} {
+		for d := 0; d < 3; d++ {
+			for k := range f[d] {
+				f[d][k] += gv[d]
+			}
+		}
+	}
+	return f
+}
+
+// Step advances the system by Δt (collective).
+func (s *Simulation) Step(c *par.Comm) StepStats {
+	cfg := s.Cfg
+	stats := StepStats{}
+	c.SetLabel("Other")
+
+	// (0) Geometry, forces, and FMM source data for the rank-local cells.
+	nLoc := len(s.Cells)
+	geos := make([]*rbc.Geometry, nLoc)
+	forces := make([][3][]float64, nLoc)
+	var srcPos [][3]float64
+	var srcQ []float64
+	npts := 0
+	if nLoc > 0 {
+		npts = s.Cells[0].Grid.NumPoints()
+	}
+	for i, cell := range s.Cells {
+		geos[i] = cell.ComputeGeometry()
+		forces[i] = s.cellForce(cell, geos[i])
+		w := cell.QuadWeights(geos[i])
+		pts := cell.Points()
+		srcPos = append(srcPos, pts...)
+		for k := 0; k < npts; k++ {
+			srcQ = append(srcQ,
+				forces[i][0][k]*w[k], forces[i][1][k]*w[k], forces[i][2][k]*w[k])
+		}
+	}
+
+	// (1a–1b) u^fr on Γ and the boundary solve for ϕ.
+	var uGammaCells []float64
+	if s.Surf != nil {
+		c.SetLabel("Other-FMM")
+		plo, phiHi := s.Surf.F.OwnerRange(c.Size(), c.Rank())
+		ownNodes := s.Surf.Pts[plo*s.Surf.NQ : phiHi*s.Surf.NQ]
+		ufr := fmm.EvaluateDist(c, s.stokes, srcPos, srcQ, ownNodes)
+		c.SetLabel("BIE-solve")
+		rhs := make([]float64, len(s.G))
+		for i := range rhs {
+			rhs[i] = s.G[i] - ufr[i]
+		}
+		phi, res := s.Solver.Solve(c, rhs, s.phi, cfg.GMRESTol, cfg.GMRESMax)
+		s.phi = phi
+		stats.GMRESIters = res.Iterations
+
+		// (1c) u^Γ at the rank-local cell points (near-singular treatment
+		// for cells close to the wall).
+		c.SetLabel("BIE-solve")
+		dEps := 0.0
+		for pid := range s.Surf.F.Patches {
+			dEps = math.Max(dEps, s.Surf.P.NearFactor*s.Surf.L[pid])
+		}
+		cls := s.Surf.F.ClosestPoints(c, srcPos, dEps)
+		uGammaCells = s.Solver.EvalVelocity(c, s.phi, srcPos, cls)
+	}
+
+	// (1d) Explicit inter-cell contribution: FMM over all cells minus the
+	// smooth self term (the accurate self term is implicit).
+	c.SetLabel("Other-FMM")
+	uCells := fmm.EvaluateDist(c, s.stokes, srcPos, srcQ, srcPos)
+	c.SetLabel("Other")
+	for i, cell := range s.Cells {
+		self := cell.SmoothSelfVelocity(geos[i], cfg.Mu, forces[i])
+		for k := 0; k < npts; k++ {
+			for d := 0; d < 3; d++ {
+				uCells[(i*npts+k)*3+d] -= self[d][k]
+			}
+		}
+	}
+
+	// (2) Per-cell locally-implicit update to candidate positions.
+	candidates := make([]*rbc.Cell, nLoc)
+	for i, cell := range s.Cells {
+		var b [3][]float64
+		for d := 0; d < 3; d++ {
+			b[d] = make([]float64, npts)
+		}
+		for k := 0; k < npts; k++ {
+			x := [3]float64{cell.X[0][k], cell.X[1][k], cell.X[2][k]}
+			var bg [3]float64
+			if cfg.Background != nil {
+				bg = cfg.Background(x)
+			}
+			for d := 0; d < 3; d++ {
+				v := uCells[(i*npts+k)*3+d] + bg[d]
+				if uGammaCells != nil {
+					v += uGammaCells[(i*npts+k)*3+d]
+				}
+				b[d][k] = v
+			}
+		}
+		cand := cell.Copy()
+		var fext [3][]float64
+		if cfg.Gravity != ([3]float64{}) {
+			for d := 0; d < 3; d++ {
+				fext[d] = make([]float64, npts)
+				for k := range fext[d] {
+					fext[d][k] = cfg.Gravity[d]
+				}
+			}
+		}
+		cand.ImplicitStep(s.sq, rbc.ImplicitParams{
+			Dt: cfg.Dt, Mu: cfg.Mu, KappaB: cfg.KappaB,
+		}, b, fext)
+		candidates[i] = cand
+	}
+
+	// (3) Collision NCP loop (paper §4).
+	if cfg.CollisionOn {
+		c.SetLabel("COL")
+		stats.Contacts, stats.NCPIters = s.resolveCollisions(c, candidates)
+	}
+
+	// (4) Commit and filter.
+	c.SetLabel("Other")
+	for i, cand := range candidates {
+		s.Cells[i] = cand
+	}
+	if cfg.FilterEvery > 0 {
+		for _, cell := range s.Cells {
+			cell.Filter(0.1)
+		}
+	}
+	s.LastStats = stats
+	return stats
+}
+
+// resolveCollisions gathers all cell meshes, finds candidate pairs with the
+// space-time spatial hash, and runs the NCP loop; displacements are applied
+// to the rank-local candidate cells.
+func (s *Simulation) resolveCollisions(c *par.Comm, candidates []*rbc.Cell) (contacts, iters int) {
+	// Local cell meshes (V = current, VNext = candidate).
+	byID := map[int]*collision.Mesh{}
+	localIDs := map[int]bool{}
+	var localMeshes []*collision.Mesh
+	var before [][][3]float64
+	for i, cell := range s.Cells {
+		id := s.CellIDOffset + i
+		m := collision.MeshFromCell(id, cell)
+		collision.SyncMeshFromCell(m, cell, candidates[i])
+		byID[id] = m
+		localIDs[id] = true
+		localMeshes = append(localMeshes, m)
+		bv := make([][3]float64, len(m.VNext))
+		copy(bv, m.VNext)
+		before = append(before, bv)
+	}
+	// Exchange remote cell meshes (flattened vertex data).
+	type wire struct {
+		ID int
+		V  [][3]float64
+		VN [][3]float64
+	}
+	var flat []float64
+	for _, m := range localMeshes {
+		flat = append(flat, float64(m.ID), float64(len(m.V)))
+		for _, v := range m.V {
+			flat = append(flat, v[0], v[1], v[2])
+		}
+		for _, v := range m.VNext {
+			flat = append(flat, v[0], v[1], v[2])
+		}
+	}
+	parts := par.Allgatherv(c, flat)
+	for r, chunk := range parts {
+		if r == c.Rank() {
+			continue
+		}
+		pos := 0
+		for pos < len(chunk) {
+			id := int(chunk[pos])
+			nv := int(chunk[pos+1])
+			pos += 2
+			m := &collision.Mesh{ID: id}
+			m.V = make([][3]float64, nv)
+			m.VNext = make([][3]float64, nv)
+			for k := 0; k < nv; k++ {
+				m.V[k] = [3]float64{chunk[pos], chunk[pos+1], chunk[pos+2]}
+				pos += 3
+			}
+			for k := 0; k < nv; k++ {
+				m.VNext[k] = [3]float64{chunk[pos], chunk[pos+1], chunk[pos+2]}
+				pos += 3
+			}
+			// Topology and weights from a template of the same grid.
+			if len(s.Cells) > 0 {
+				tmpl := collision.MeshFromCell(id, s.Cells[0])
+				m.Tri = tmpl.Tri
+				m.VertW = tmpl.VertW
+			}
+			byID[id] = m
+		}
+	}
+	// Rigid patch meshes: registered by owning rank, readable everywhere.
+	for _, pm := range s.patchMeshes {
+		byID[pm.ID] = pm
+	}
+	regMeshes := append([]*collision.Mesh{}, localMeshes...)
+	if s.Surf != nil {
+		plo, phiHi := s.Surf.F.OwnerRange(c.Size(), c.Rank())
+		for pid := plo; pid < phiHi; pid++ {
+			regMeshes = append(regMeshes, s.patchMeshes[pid])
+		}
+	}
+	pairs := collision.CandidatePairs(c, regMeshes, s.Cfg.MinSep)
+	contacts, iters = collision.Resolve(c, pairs, byID, localIDs, collision.ResolveParams{
+		MinSep:   s.Cfg.MinSep,
+		Mobility: s.Cfg.Dt / s.Cfg.Mu,
+		MaxNCP:   7,
+	})
+	// Apply displacements back to the candidate grids.
+	for i, m := range localMeshes {
+		collision.ApplyMeshDisplacement(m, before[i], candidates[i])
+	}
+	return contacts, iters
+}
+
+// Centroids returns the rank-local cell centroids.
+func (s *Simulation) Centroids() [][3]float64 {
+	out := make([][3]float64, len(s.Cells))
+	for i, c := range s.Cells {
+		out[i] = c.Centroid()
+	}
+	return out
+}
+
+// TotalCellVolume sums the rank-local cell volumes (allreduce for global).
+func (s *Simulation) TotalCellVolume(c *par.Comm) float64 {
+	v := []float64{0}
+	for _, cell := range s.Cells {
+		v[0] += cell.Volume()
+	}
+	c.AllreduceSum(v)
+	return v[0]
+}
+
+// ClosestOnly is a helper for tests: a no-near-treatment marker slice.
+func ClosestOnly(n int) []forest.Closest {
+	out := make([]forest.Closest, n)
+	for i := range out {
+		out[i].PatchID = -1
+	}
+	return out
+}
+
+// RecycleParams configures inlet/outlet cell recycling (paper §5.1): cells
+// whose centroid azimuth enters the outlet window are teleported to the
+// inlet azimuth at the same tube cross-section position, keeping the
+// channel populated during long runs.
+type RecycleParams struct {
+	OutletTheta0, OutletTheta1 float64 // outlet azimuth window
+	InletTheta                 float64 // reinsertion azimuth
+}
+
+// Recycle applies the recycling rule to the rank-local cells of a
+// torus-like channel centered on the z-axis. Returns how many local cells
+// were recycled.
+func (s *Simulation) Recycle(prm RecycleParams) int {
+	count := 0
+	for _, cell := range s.Cells {
+		cen := cell.Centroid()
+		th := math.Atan2(cen[1], cen[0])
+		if th < 0 {
+			th += 2 * math.Pi
+		}
+		if th < prm.OutletTheta0 || th > prm.OutletTheta1 {
+			continue
+		}
+		// Rotate the whole cell about z from th to the inlet azimuth.
+		dth := prm.InletTheta - th
+		cth, sth := math.Cos(dth), math.Sin(dth)
+		n := cell.Grid.NumPoints()
+		for k := 0; k < n; k++ {
+			x, y := cell.X[0][k], cell.X[1][k]
+			cell.X[0][k] = cth*x - sth*y
+			cell.X[1][k] = sth*x + cth*y
+		}
+		count++
+	}
+	return count
+}

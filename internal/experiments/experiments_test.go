@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"rbcflow/internal/par"
+)
+
+func TestScalingCaseProducesBreakdown(t *testing.T) {
+	r := scalingCase(2, par.SKX(), 0, 4, 1)
+	if r.NumCells == 0 || r.NumPatches != 24 {
+		t.Fatalf("case geometry: cells=%d patches=%d", r.NumCells, r.NumPatches)
+	}
+	if r.TotalTime <= 0 {
+		t.Fatal("no virtual time")
+	}
+	for _, k := range []string{"BIE-solve", "Other"} {
+		if r.Breakdown[k] <= 0 {
+			t.Fatalf("missing breakdown category %q: %v", k, r.Breakdown)
+		}
+	}
+	if r.VolFraction <= 0 || r.VolFraction > 0.6 {
+		t.Fatalf("volume fraction %v", r.VolFraction)
+	}
+}
+
+func TestStrongScalingTableFormat(t *testing.T) {
+	var sb strings.Builder
+	rows := StrongScaling(&sb, []int{1, 2}, 0, 4, 1)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	out := sb.String()
+	for _, col := range []string{"cores", "total(s)", "COL+BIE"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("table missing column %q:\n%s", col, out)
+		}
+	}
+	if rows[1].Cores != 2 {
+		t.Fatalf("row cores wrong: %+v", rows[1])
+	}
+}
+
+func TestShearConvergenceMonotone(t *testing.T) {
+	rows := ShearConvergence(io.Discard, 4, 0.4, []int{2, 4})
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if !(rows[1].CentroidErr < rows[0].CentroidErr) {
+		t.Fatalf("error did not decrease: %v vs %v", rows[0].CentroidErr, rows[1].CentroidErr)
+	}
+}

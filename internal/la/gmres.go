@@ -1,0 +1,170 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator applies a linear operator to x, writing the result into dst.
+// dst and x never alias.
+type Operator func(dst, x []float64)
+
+// DotFunc computes an inner product. In distributed solves (as in the paper's
+// PETSc GMRES over MPI) the local segments live on each rank and the DotFunc
+// performs a global reduction; all ranks then execute identical GMRES
+// recurrences.
+type DotFunc func(x, y []float64) float64
+
+// GMRESOptions configures a GMRES solve.
+type GMRESOptions struct {
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIters caps total iterations (default 200). The paper caps the
+	// boundary solve at 30 iterations for its scaling runs (§5.1).
+	MaxIters int
+	// Restart is the Krylov subspace size before restart (default 60).
+	Restart int
+	// Dot overrides the inner product (nil means the serial Dot).
+	Dot DotFunc
+}
+
+// GMRESResult reports the outcome of a GMRES solve.
+type GMRESResult struct {
+	Iterations int
+	Residual   float64 // final relative residual estimate
+	Converged  bool
+	History    []float64 // relative residual after each iteration
+}
+
+func (o *GMRESOptions) defaults() {
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+	if o.Restart == 0 {
+		o.Restart = 60
+	}
+	if o.Dot == nil {
+		o.Dot = Dot
+	}
+}
+
+// GMRES solves A*x = b for the operator A using restarted GMRES with modified
+// Gram-Schmidt orthogonalization and Givens rotations. x holds the initial
+// guess on entry and the solution on return.
+func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
+	opt.defaults()
+	n := len(b)
+	if len(x) != n {
+		return GMRESResult{}, fmt.Errorf("la: GMRES size mismatch len(b)=%d len(x)=%d", n, len(x))
+	}
+	dot := opt.Dot
+	norm := func(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+	bnorm := norm(b)
+	if bnorm == 0 {
+		Zero(x)
+		return GMRESResult{Converged: true, Residual: 0}, nil
+	}
+
+	m := opt.Restart
+	// Krylov basis and Hessenberg storage.
+	V := make([][]float64, m+1)
+	for i := range V {
+		V[i] = make([]float64, n)
+	}
+	H := NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	r := make([]float64, n)
+	w := make([]float64, n)
+
+	res := GMRESResult{}
+	total := 0
+	for total < opt.MaxIters {
+		// r = b - A x
+		apply(w, x)
+		Sub(r, b, w)
+		beta := norm(r)
+		rel := beta / bnorm
+		if rel <= opt.Tol {
+			res.Converged = true
+			res.Residual = rel
+			return res, nil
+		}
+		copy(V[0], r)
+		Scale(1/beta, V[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && total < opt.MaxIters; k++ {
+			total++
+			apply(w, V[k])
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h := dot(w, V[i])
+				H.Set(i, k, h)
+				Axpy(-h, V[i], w)
+			}
+			hk1 := norm(w)
+			H.Set(k+1, k, hk1)
+			if hk1 > 0 {
+				copy(V[k+1], w)
+				Scale(1/hk1, V[k+1])
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				h0, h1 := H.At(i, k), H.At(i+1, k)
+				H.Set(i, k, cs[i]*h0+sn[i]*h1)
+				H.Set(i+1, k, -sn[i]*h0+cs[i]*h1)
+			}
+			// New rotation to eliminate H[k+1][k].
+			h0, h1 := H.At(k, k), H.At(k+1, k)
+			denom := math.Hypot(h0, h1)
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = h0/denom, h1/denom
+			}
+			H.Set(k, k, cs[k]*h0+sn[k]*h1)
+			H.Set(k+1, k, 0)
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			rel = math.Abs(g[k+1]) / bnorm
+			res.History = append(res.History, rel)
+			if rel <= opt.Tol {
+				k++
+				break
+			}
+		}
+		// Solve the k x k triangular system H y = g.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= H.At(i, j) * y[j]
+			}
+			if H.At(i, i) == 0 {
+				return res, fmt.Errorf("la: GMRES breakdown, zero diagonal in Hessenberg at %d", i)
+			}
+			y[i] = s / H.At(i, i)
+		}
+		for i := 0; i < k; i++ {
+			Axpy(y[i], V[i], x)
+		}
+		res.Iterations = total
+		res.Residual = rel
+		if rel <= opt.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

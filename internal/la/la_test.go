@@ -1,0 +1,300 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v", got)
+	}
+	Axpy(2, x, y)
+	want := []float64{6, -1, 12}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy got %v want %v", y, want)
+		}
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := NormInf([]float64{-7, 2}); got != 7 {
+		t.Fatalf("NormInf = %v", got)
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m := NewDense(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec got %v", dst)
+	}
+	dt := make([]float64, 3)
+	m.MulTransVec(dt, []float64{1, 1})
+	if dt[0] != 5 || dt[1] != 7 || dt[2] != 9 {
+		t.Fatalf("MulTransVec got %v", dt)
+	}
+}
+
+func TestMulMatMat(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewDense(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Fatalf("Mul got %v want %v", c.Data, want)
+		}
+	}
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal boost to keep well conditioned.
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		m.MulVec(b, xTrue)
+		x, err := SolveDense(m, b)
+		if err != nil {
+			t.Fatalf("SolveDense: %v", err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+				t.Fatalf("trial %d: solution error %g at %d", trial, x[i]-xTrue[i], i)
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	m := NewDense(2, 2)
+	copy(m.Data, []float64{1, 2, 2, 4})
+	if _, err := Factor(m); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestLUPermutationSign(t *testing.T) {
+	m := NewDense(2, 2)
+	copy(m.Data, []float64{0, 1, 1, 0})
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve(x, []float64{3, 7})
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("permutation solve got %v", x)
+	}
+}
+
+func TestGMRESIdentity(t *testing.T) {
+	n := 10
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	res, err := GMRES(func(dst, v []float64) { copy(dst, v) }, b, x, GMRESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("GMRES on identity did not converge")
+	}
+	for i := range x {
+		if math.Abs(x[i]-b[i]) > 1e-9 {
+			t.Fatalf("x[%d]=%v", i, x[i])
+		}
+	}
+}
+
+func TestGMRESRandomSPDish(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = 0.2 * rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+4)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	m.MulVec(b, xTrue)
+	x := make([]float64, n)
+	res, err := GMRES(m.MulVec, b, x, GMRESOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: resid %g after %d iters", res.Residual, res.Iterations)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] error %g", i, x[i]-xTrue[i])
+		}
+	}
+}
+
+func TestGMRESRestart(t *testing.T) {
+	// Force restarts with small Krylov dimension.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = 0.1 * rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 3)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(m.MulVec, b, x, GMRESOptions{Tol: 1e-10, Restart: 5, MaxIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted GMRES did not converge: %g", res.Residual)
+	}
+	// Verify residual directly.
+	r := make([]float64, n)
+	m.MulVec(r, x)
+	Sub(r, b, r)
+	if Norm2(r)/Norm2(b) > 1e-8 {
+		t.Fatalf("true residual too large: %g", Norm2(r)/Norm2(b))
+	}
+}
+
+func TestGMRESMaxIterCap(t *testing.T) {
+	// A hard system with a tiny iteration cap must report non-convergence.
+	rng := rand.New(rand.NewSource(5))
+	n := 50
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+8)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(m.MulVec, b, x, GMRESOptions{Tol: 1e-14, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("expected non-convergence with 3 iterations")
+	}
+	if len(res.History) == 0 || len(res.History) > 3 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	x := []float64{1, 2, 3}
+	res, err := GMRES(func(dst, v []float64) { copy(dst, v) }, []float64{0, 0, 0}, x, GMRESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("zero RHS should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("x = %v, want zeros", x)
+		}
+	}
+}
+
+// Property: LU solve then multiply reproduces b for random well-conditioned
+// systems.
+func TestQuickLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(2*n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveDense(m, b)
+		if err != nil {
+			return false
+		}
+		chk := make([]float64, n)
+		m.MulVec(chk, x)
+		for i := range chk {
+			if math.Abs(chk[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mul is associative on small random matrices (within tolerance).
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		mk := func() *Dense {
+			m := NewDense(n, n)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

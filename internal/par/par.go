@@ -1,0 +1,259 @@
+// Package par is the distributed-memory substitute for the paper's MPI runs
+// on Stampede2 (repro substitution documented in DESIGN.md).
+//
+// A World runs P "ranks" as goroutines executing the same SPMD program.
+// Compute segments are serialized by a token so each segment's wall time is
+// measured accurately even on a single-core host; every collective ends the
+// current bulk-synchronous phase. The World keeps a virtual-time ledger
+//
+//	T_phase = max_r(segment_r · computeScale) + latency·⌈log2 P⌉ + bytes/bandwidth
+//
+// so that parallel efficiency can be computed exactly as it would be on a
+// real distributed machine: load imbalance shows up through the max, and
+// communication volume through the bytes term. SKX-like and KNL-like machine
+// models reproduce the paper's two Stampede2 partitions.
+//
+// SPMD discipline: all ranks must call the same collectives in the same
+// order, exactly as with MPI.
+package par
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Machine models a cluster node type for the virtual-time ledger.
+type Machine struct {
+	Name string
+	// LatencySec is the per-hop collective latency.
+	LatencySec float64
+	// BandwidthBytesPerSec divides the total payload moved by a collective.
+	BandwidthBytesPerSec float64
+	// ComputeScale multiplies measured compute time (1.0 for the reference
+	// SKX-like core; >1 for slower cores such as KNL).
+	ComputeScale float64
+}
+
+// SKX approximates a Stampede2 Skylake node's interconnect and core speed.
+func SKX() Machine {
+	return Machine{Name: "skx", LatencySec: 2e-6, BandwidthBytesPerSec: 12e9, ComputeScale: 1.0}
+}
+
+// KNL approximates a Stampede2 Knights Landing node: slower serial cores,
+// same fabric.
+func KNL() Machine {
+	return Machine{Name: "knl", LatencySec: 2.5e-6, BandwidthBytesPerSec: 12e9, ComputeScale: 2.6}
+}
+
+// World owns the shared state of one SPMD execution.
+type World struct {
+	P       int
+	Machine Machine
+
+	token chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	dead     int
+	gen      uint64
+	staged   []any
+	results  []any
+	segTimes []time.Duration
+	labels   []string
+
+	virtualTime float64
+	timeByLabel map[string]float64
+	commBytes   int64
+	phases      int
+}
+
+// Comm is a rank's handle to the world.
+type Comm struct {
+	world    *World
+	rank     int
+	segStart time.Time
+	label    string
+}
+
+// Rank returns this rank's id in [0, P).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.P }
+
+// SetLabel tags subsequent compute/communication with a timing category
+// (e.g. "COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other").
+func (c *Comm) SetLabel(label string) { c.label = label }
+
+// Label returns the current timing category.
+func (c *Comm) Label() string { return c.label }
+
+// Run executes body on P ranks and returns the world for inspection of the
+// virtual-time ledger. Panics in any rank are re-raised.
+func Run(p int, m Machine, body func(c *Comm)) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("par: world size must be >= 1, got %d", p))
+	}
+	w := &World{
+		P:           p,
+		Machine:     m,
+		token:       make(chan struct{}, 1),
+		staged:      make([]any, p),
+		results:     make([]any, p),
+		segTimes:    make([]time.Duration, p),
+		labels:      make([]string, p),
+		timeByLabel: map[string]float64{},
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.token <- struct{}{}
+
+	var wg sync.WaitGroup
+	panics := make([]any, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank, label: "Other"}
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+					// Mark this rank dead and unblock peers: phases now
+					// complete when live arrivals + dead ranks cover P, so
+					// the failure surfaces as a panic instead of a hang.
+					w.mu.Lock()
+					w.dead++
+					if w.arrived > 0 && w.arrived+w.dead >= w.P {
+						w.arrived = 0
+						w.gen++
+						w.cond.Broadcast()
+					}
+					w.mu.Unlock()
+					// Ensure exactly one token remains available whether or
+					// not this rank held it when it panicked.
+					select {
+					case <-w.token:
+					default:
+					}
+					w.token <- struct{}{}
+				}
+			}()
+			c.enterCompute()
+			body(c)
+			// Final implicit barrier folds the last compute segment into the
+			// ledger, then the token is handed back.
+			c.finishSegment(0, nil, nil)
+			c.exitCompute()
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("par: rank %d panicked: %v", r, e))
+		}
+	}
+	return w
+}
+
+func (c *Comm) enterCompute() {
+	<-c.world.token
+	c.segStart = time.Now()
+}
+
+func (c *Comm) exitCompute() {
+	w := c.world
+	w.mu.Lock()
+	w.segTimes[c.rank] = time.Since(c.segStart)
+	w.labels[c.rank] = c.label
+	w.mu.Unlock()
+	w.token <- struct{}{}
+}
+
+// finishSegment ends this rank's compute segment, stages data, and blocks
+// until all ranks arrive; the last arriver runs combine (staged -> results)
+// and charges the phase to the ledger. Returns this rank's result slot.
+func (c *Comm) finishSegment(bytes int64, stage any, combine func(staged []any, results []any)) any {
+	w := c.world
+	seg := time.Since(c.segStart)
+	// Release the token before blocking so other ranks can compute.
+	w.token <- struct{}{}
+
+	w.mu.Lock()
+	w.segTimes[c.rank] = seg
+	w.labels[c.rank] = c.label
+	w.staged[c.rank] = stage
+	w.arrived++
+	myGen := w.gen
+	if w.arrived+w.dead >= w.P {
+		if combine != nil && w.dead == 0 {
+			combine(w.staged, w.results)
+		}
+		// Ledger: compute critical path + communication model.
+		var maxSeg time.Duration
+		for _, s := range w.segTimes {
+			if s > maxSeg {
+				maxSeg = s
+			}
+		}
+		phase := maxSeg.Seconds() * w.Machine.ComputeScale
+		var comm float64
+		if w.P > 1 && bytes > 0 {
+			hops := math.Ceil(math.Log2(float64(w.P)))
+			comm = w.Machine.LatencySec*hops + float64(bytes)/w.Machine.BandwidthBytesPerSec
+			w.commBytes += bytes
+		}
+		w.virtualTime += phase + comm
+		w.timeByLabel[w.labels[0]] += phase + comm
+		w.phases++
+		for i := range w.staged {
+			w.staged[i] = nil
+		}
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for w.gen == myGen {
+			w.cond.Wait()
+		}
+	}
+	res := w.results[c.rank]
+	w.mu.Unlock()
+
+	// Resume computing (serially, token-gated).
+	c.enterCompute()
+	return res
+}
+
+// VirtualTime returns the modeled wall time accumulated so far (seconds).
+func (w *World) VirtualTime() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.virtualTime
+}
+
+// TimeByLabel returns a copy of the per-category virtual-time breakdown.
+func (w *World) TimeByLabel() map[string]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]float64, len(w.timeByLabel))
+	for k, v := range w.timeByLabel {
+		out[k] = v
+	}
+	return out
+}
+
+// CommBytes returns total bytes moved through collectives.
+func (w *World) CommBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commBytes
+}
+
+// Phases returns the number of bulk-synchronous phases executed.
+func (w *World) Phases() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.phases
+}

@@ -1,0 +1,312 @@
+// Package patch implements the high-order tensor-product polynomial patches
+// that discretize the blood vessel surface Γ (paper §3.1): evaluation and
+// differentiation on Clenshaw–Curtis node grids, exact 4-way subdivision
+// (the coarse→fine refinement of §3.1 and the Bezier-style refinement of
+// §5.2), area/size metrics, bounding boxes inflated for near-zone detection,
+// and the Newton closest-point solver of §3.3 step d.
+package patch
+
+import (
+	"math"
+
+	"rbcflow/internal/quadrature"
+)
+
+// basis caches the 1D node set for a polynomial order.
+type basis struct {
+	q     int // polynomial order; q+1 nodes
+	nodes []float64
+	bw    []float64   // barycentric weights
+	diff  [][]float64 // spectral differentiation matrix
+	ccW   []float64   // Clenshaw–Curtis quadrature weights
+}
+
+var basisCache = map[int]*basis{}
+
+func getBasis(q int) *basis {
+	if b, ok := basisCache[q]; ok {
+		return b
+	}
+	nodes, w := quadrature.ClenshawCurtis(q)
+	b := &basis{q: q, nodes: nodes, ccW: w}
+	b.bw = quadrature.BaryWeights(nodes)
+	b.diff = quadrature.DiffMatrix(nodes, b.bw)
+	basisCache[q] = b
+	return b
+}
+
+// Nodes returns the 1D Clenshaw–Curtis nodes used by order-q patches.
+func Nodes(q int) []float64 { return getBasis(q).nodes }
+
+// QuadWeights returns the 1D Clenshaw–Curtis weights for order q.
+func QuadWeights(q int) []float64 { return getBasis(q).ccW }
+
+// Patch is a polynomial map P: [-1,1]² → R³ stored by its values on the
+// (q+1)×(q+1) tensor Clenshaw–Curtis grid, row-major with u varying slowest.
+type Patch struct {
+	Q   int
+	Val [][3]float64 // len (Q+1)^2; Val[i*(Q+1)+j] = P(nodes[i], nodes[j])
+
+	duP, dvP *Patch // cached derivative fields
+}
+
+// FromFunc samples the surface map f on the node grid of order q.
+func FromFunc(q int, f func(u, v float64) [3]float64) *Patch {
+	b := getBasis(q)
+	n := q + 1
+	p := &Patch{Q: q, Val: make([][3]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Val[i*n+j] = f(b.nodes[i], b.nodes[j])
+		}
+	}
+	return p
+}
+
+// Eval evaluates the patch at parameter (u, v).
+func (p *Patch) Eval(u, v float64) [3]float64 {
+	b := getBasis(p.Q)
+	cu := quadrature.LagrangeCoeffs(b.nodes, b.bw, u)
+	cv := quadrature.LagrangeCoeffs(b.nodes, b.bw, v)
+	return p.contract(cu, cv)
+}
+
+func (p *Patch) contract(cu, cv []float64) [3]float64 {
+	n := p.Q + 1
+	var out [3]float64
+	for i := 0; i < n; i++ {
+		ci := cu[i]
+		if ci == 0 {
+			continue
+		}
+		row := p.Val[i*n : (i+1)*n]
+		var rx, ry, rz float64
+		for j := 0; j < n; j++ {
+			cj := cv[j]
+			rx += cj * row[j][0]
+			ry += cj * row[j][1]
+			rz += cj * row[j][2]
+		}
+		out[0] += ci * rx
+		out[1] += ci * ry
+		out[2] += ci * rz
+	}
+	return out
+}
+
+// nodeDeriv returns the nodal values of ∂P/∂u and ∂P/∂v.
+func (p *Patch) nodeDeriv() (du, dv [][3]float64) {
+	b := getBasis(p.Q)
+	n := p.Q + 1
+	du = make([][3]float64, n*n)
+	dv = make([][3]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var su, sv [3]float64
+			for k := 0; k < n; k++ {
+				dik := b.diff[i][k]
+				djk := b.diff[j][k]
+				for d := 0; d < 3; d++ {
+					su[d] += dik * p.Val[k*n+j][d]
+					sv[d] += djk * p.Val[i*n+k][d]
+				}
+			}
+			du[i*n+j] = su
+			dv[i*n+j] = sv
+		}
+	}
+	return du, dv
+}
+
+// Derivs evaluates position and first parametric derivatives at (u, v).
+func (p *Patch) Derivs(u, v float64) (pos, du, dv [3]float64) {
+	b := getBasis(p.Q)
+	cu := quadrature.LagrangeCoeffs(b.nodes, b.bw, u)
+	cv := quadrature.LagrangeCoeffs(b.nodes, b.bw, v)
+	pos = p.contract(cu, cv)
+	duN, dvN := p.derivPatches()
+	du = duN.contract(cu, cv)
+	dv = dvN.contract(cu, cv)
+	return pos, du, dv
+}
+
+// derivPatches returns the derivative fields as patches (cached).
+func (p *Patch) derivPatches() (*Patch, *Patch) {
+	if p.duP == nil {
+		duN, dvN := p.nodeDeriv()
+		p.duP = &Patch{Q: p.Q, Val: duN}
+		p.dvP = &Patch{Q: p.Q, Val: dvN}
+	}
+	return p.duP, p.dvP
+}
+
+// Normal returns the unit normal du × dv / |du × dv| at (u, v).
+func (p *Patch) Normal(u, v float64) [3]float64 {
+	_, du, dv := p.Derivs(u, v)
+	n := Cross(du, dv)
+	return Normalize(n)
+}
+
+// Subdivide splits the patch into 4 equivalent sub-patches over the
+// quadrants of [-1,1]² (exact: resampling a polynomial). Order of children:
+// (u−,v−), (u−,v+), (u+,v−), (u+,v+).
+func (p *Patch) Subdivide() [4]*Patch {
+	maps := [4][2][2]float64{ // {u0,u1},{v0,v1} affine ranges
+		{{-1, 0}, {-1, 0}},
+		{{-1, 0}, {0, 1}},
+		{{0, 1}, {-1, 0}},
+		{{0, 1}, {0, 1}},
+	}
+	var out [4]*Patch
+	for c, m := range maps {
+		um, vm := m[0], m[1]
+		out[c] = FromFunc(p.Q, func(u, v float64) [3]float64 {
+			uu := um[0] + (um[1]-um[0])*(u+1)/2
+			vv := vm[0] + (vm[1]-vm[0])*(v+1)/2
+			return p.Eval(uu, vv)
+		})
+	}
+	return out
+}
+
+// Area computes the surface area ∫∫ |P_u × P_v| du dv by Clenshaw–Curtis
+// quadrature on the node grid.
+func (p *Patch) Area() float64 {
+	b := getBasis(p.Q)
+	n := p.Q + 1
+	duN, dvN := p.nodeDeriv()
+	var area float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			j3 := Cross(duN[i*n+j], dvN[i*n+j])
+			area += b.ccW[i] * b.ccW[j] * Norm(j3)
+		}
+	}
+	return area
+}
+
+// Size returns sqrt(Area), the patch size L used to scale check-point
+// distances (paper §5.1).
+func (p *Patch) Size() float64 { return math.Sqrt(p.Area()) }
+
+// BBox returns the axis-aligned bounding box of the node values, inflated
+// by pad in every direction (pad = d_ε gives the near-zone box B_{P,ε} of
+// paper §3.3 step a).
+func (p *Patch) BBox(pad float64) (lo, hi [3]float64) {
+	lo = [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi = [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for _, v := range p.Val {
+		for d := 0; d < 3; d++ {
+			if v[d] < lo[d] {
+				lo[d] = v[d]
+			}
+			if v[d] > hi[d] {
+				hi[d] = v[d]
+			}
+		}
+	}
+	for d := 0; d < 3; d++ {
+		lo[d] -= pad
+		hi[d] += pad
+	}
+	return lo, hi
+}
+
+// ClosestPoint finds min_{(u,v) ∈ [-1,1]²} |x − P(u,v)| by projected Newton
+// with backtracking line search from the best point of a coarse sample grid
+// (paper §3.3 step d). Returns the parameters, the closest point and the
+// distance.
+func (p *Patch) ClosestPoint(x [3]float64) (u, v float64, y [3]float64, dist float64) {
+	// Coarse seeding.
+	const seeds = 5
+	best := math.Inf(1)
+	for i := 0; i < seeds; i++ {
+		for j := 0; j < seeds; j++ {
+			su := -1 + 2*float64(i)/(seeds-1)
+			sv := -1 + 2*float64(j)/(seeds-1)
+			d2 := dist2(p.Eval(su, sv), x)
+			if d2 < best {
+				best, u, v = d2, su, sv
+			}
+		}
+	}
+	obj := func(u, v float64) float64 { return dist2(p.Eval(u, v), x) }
+	cur := best
+	for iter := 0; iter < 30; iter++ {
+		pos, du, dv := p.Derivs(u, v)
+		r := [3]float64{x[0] - pos[0], x[1] - pos[1], x[2] - pos[2]}
+		// Gradient of 0.5|r|²: g = -(r·P_u, r·P_v).
+		gu, gv := -DotV(r, du), -DotV(r, dv)
+		// Gauss-Newton Hessian (drops second-derivative term; positive
+		// semidefinite and robust for surface projection).
+		huu := DotV(du, du)
+		hvv := DotV(dv, dv)
+		huv := DotV(du, dv)
+		det := huu*hvv - huv*huv
+		var su, sv float64
+		if det > 1e-14*huu*hvv+1e-300 {
+			su = -(hvv*gu - huv*gv) / det
+			sv = -(-huv*gu + huu*gv) / det
+		} else {
+			su, sv = -gu, -gv
+		}
+		// Backtracking with projection onto the parameter square.
+		step := 1.0
+		improved := false
+		for ls := 0; ls < 20; ls++ {
+			nu := clamp(u+step*su, -1, 1)
+			nv := clamp(v+step*sv, -1, 1)
+			val := obj(nu, nv)
+			if val < cur {
+				u, v, cur = nu, nv, val
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved || math.Abs(gu)+math.Abs(gv) < 1e-14 {
+			break
+		}
+	}
+	y = p.Eval(u, v)
+	return u, v, y, math.Sqrt(dist2(y, x))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func dist2(a, b [3]float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Cross returns a × b.
+func Cross(a, b [3]float64) [3]float64 {
+	return [3]float64{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// DotV returns a · b.
+func DotV(a, b [3]float64) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Norm returns |a|.
+func Norm(a [3]float64) float64 { return math.Sqrt(DotV(a, a)) }
+
+// Normalize returns a/|a| (zero vector unchanged).
+func Normalize(a [3]float64) [3]float64 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	return [3]float64{a[0] / n, a[1] / n, a[2] / n}
+}

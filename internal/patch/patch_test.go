@@ -1,0 +1,236 @@
+package patch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// flatPatch is the plane z = 0.3u + 0.1v spanning [-1,1]².
+func flatPatch(q int) *Patch {
+	return FromFunc(q, func(u, v float64) [3]float64 {
+		return [3]float64{u, v, 0.3*u + 0.1*v}
+	})
+}
+
+// spherePatch maps [-1,1]² to a portion of the unit sphere (gnomonic-ish).
+func spherePatch(q int) *Patch {
+	return FromFunc(q, func(u, v float64) [3]float64 {
+		x, y := u*0.5, v*0.5
+		z := math.Sqrt(1 - x*x - y*y)
+		return [3]float64{x, y, z}
+	})
+}
+
+func TestEvalReproducesPolynomial(t *testing.T) {
+	// A degree-(3,3) polynomial surface must be represented exactly by q=8.
+	f := func(u, v float64) [3]float64 {
+		return [3]float64{
+			1 + u + u*u*v - 2*v*v*v,
+			u*v + 0.5*u*u*u,
+			2 - v + u*u*v*v,
+		}
+	}
+	p := FromFunc(8, f)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		u := rng.Float64()*2 - 1
+		v := rng.Float64()*2 - 1
+		got := p.Eval(u, v)
+		want := f(u, v)
+		for d := 0; d < 3; d++ {
+			if math.Abs(got[d]-want[d]) > 1e-11 {
+				t.Fatalf("eval (%v,%v)[%d]: %v vs %v", u, v, d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestDerivsFiniteDifference(t *testing.T) {
+	p := spherePatch(10)
+	h := 1e-6
+	for _, uv := range [][2]float64{{0.2, -0.4}, {-0.7, 0.3}, {0, 0}} {
+		u, v := uv[0], uv[1]
+		_, du, dv := p.Derivs(u, v)
+		pu := p.Eval(u+h, v)
+		mu := p.Eval(u-h, v)
+		pv := p.Eval(u, v+h)
+		mv := p.Eval(u, v-h)
+		for d := 0; d < 3; d++ {
+			fdU := (pu[d] - mu[d]) / (2 * h)
+			fdV := (pv[d] - mv[d]) / (2 * h)
+			if math.Abs(fdU-du[d]) > 1e-5 {
+				t.Fatalf("du[%d] at %v: %v vs fd %v", d, uv, du[d], fdU)
+			}
+			if math.Abs(fdV-dv[d]) > 1e-5 {
+				t.Fatalf("dv[%d] at %v: %v vs fd %v", d, uv, dv[d], fdV)
+			}
+		}
+	}
+}
+
+func TestNormalOnSpherePatch(t *testing.T) {
+	p := spherePatch(12)
+	// On a sphere around the origin the unit normal is radial (up to sign).
+	for _, uv := range [][2]float64{{0, 0}, {0.5, -0.5}, {-0.8, 0.2}} {
+		pos := p.Eval(uv[0], uv[1])
+		n := p.Normal(uv[0], uv[1])
+		dot := math.Abs(DotV(n, Normalize(pos)))
+		if math.Abs(dot-1) > 1e-8 {
+			t.Fatalf("normal not radial at %v: |n·r̂| = %v", uv, dot)
+		}
+	}
+}
+
+func TestSubdivideExactness(t *testing.T) {
+	p := spherePatch(8)
+	children := p.Subdivide()
+	checks := []struct {
+		child  int
+		cu, cv float64 // child params
+		pu, pv float64 // parent params
+	}{
+		{0, 0, 0, -0.5, -0.5},
+		{1, -1, 1, -1, 1},
+		{2, 0.5, -0.5, 0.75, -0.75},
+		{3, 1, 1, 1, 1},
+	}
+	for _, c := range checks {
+		got := children[c.child].Eval(c.cu, c.cv)
+		want := p.Eval(c.pu, c.pv)
+		for d := 0; d < 3; d++ {
+			if math.Abs(got[d]-want[d]) > 1e-11 {
+				t.Fatalf("child %d mismatch: %v vs %v", c.child, got, want)
+			}
+		}
+	}
+}
+
+func TestSubdivideAreaConservation(t *testing.T) {
+	p := spherePatch(12)
+	total := p.Area()
+	children := p.Subdivide()
+	var sum float64
+	for _, c := range children {
+		sum += c.Area()
+	}
+	if math.Abs(sum-total) > 1e-8*total {
+		t.Fatalf("area not conserved: %v vs %v", sum, total)
+	}
+}
+
+func TestAreaFlatPatch(t *testing.T) {
+	// z = 0.3u + 0.1v over [-1,1]²: area = 4·|n| with n=(−0.3,−0.1,1).
+	p := flatPatch(6)
+	want := 4 * math.Sqrt(0.3*0.3+0.1*0.1+1)
+	if got := p.Area(); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("flat area %v want %v", got, want)
+	}
+	if s := p.Size(); math.Abs(s-math.Sqrt(want)) > 1e-10 {
+		t.Fatalf("size %v", s)
+	}
+}
+
+func TestBBoxContainsSurface(t *testing.T) {
+	p := spherePatch(8)
+	lo, hi := p.BBox(0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		pos := p.Eval(rng.Float64()*2-1, rng.Float64()*2-1)
+		for d := 0; d < 3; d++ {
+			// Chebyshev nodes include the boundary, and the patch is convex
+			// enough here; allow tiny slack for interior extrema.
+			if pos[d] < lo[d]-1e-9 || pos[d] > hi[d]+1e-9 {
+				t.Fatalf("point %v outside bbox [%v, %v]", pos, lo, hi)
+			}
+		}
+	}
+	loP, hiP := p.BBox(0.5)
+	for d := 0; d < 3; d++ {
+		if loP[d] != lo[d]-0.5 || hiP[d] != hi[d]+0.5 {
+			t.Fatal("pad not applied")
+		}
+	}
+}
+
+func TestClosestPointInterior(t *testing.T) {
+	p := flatPatch(6)
+	// Point straight above the plane point at (u,v) = (0.25, -0.5).
+	surf := p.Eval(0.25, -0.5)
+	n := p.Normal(0.25, -0.5)
+	x := [3]float64{surf[0] + 0.3*n[0], surf[1] + 0.3*n[1], surf[2] + 0.3*n[2]}
+	u, v, y, dist := p.ClosestPoint(x)
+	if math.Abs(dist-0.3) > 1e-8 {
+		t.Fatalf("closest distance %v want 0.3", dist)
+	}
+	if math.Abs(u-0.25) > 1e-6 || math.Abs(v+0.5) > 1e-6 {
+		t.Fatalf("closest params (%v,%v)", u, v)
+	}
+	if d := Norm([3]float64{y[0] - surf[0], y[1] - surf[1], y[2] - surf[2]}); d > 1e-7 {
+		t.Fatalf("closest point off by %v", d)
+	}
+}
+
+func TestClosestPointClampsToEdge(t *testing.T) {
+	p := flatPatch(6)
+	// A point "beyond" the u=1 edge must clamp to the boundary.
+	x := [3]float64{5, 0, 0.3 * 5}
+	u, _, _, _ := p.ClosestPoint(x)
+	if u != 1 {
+		t.Fatalf("u = %v, want clamp at 1", u)
+	}
+}
+
+func TestClosestPointOnCurvedPatch(t *testing.T) {
+	p := spherePatch(12)
+	// For points along the radial direction of a sphere point, the closest
+	// point is that sphere point.
+	target := p.Eval(0.3, 0.6)
+	x := [3]float64{target[0] * 1.5, target[1] * 1.5, target[2] * 1.5}
+	_, _, y, dist := p.ClosestPoint(x)
+	wantDist := 0.5 * Norm(target) // |x| - 1 = 0.5 since |target| = 1
+	if math.Abs(dist-wantDist) > 1e-6 {
+		t.Fatalf("dist %v want %v", dist, wantDist)
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(y[d]-target[d]) > 1e-5 {
+			t.Fatalf("closest point %v want %v", y, target)
+		}
+	}
+}
+
+// Property: Eval at node points returns the stored node values exactly.
+func TestQuickEvalAtNodes(t *testing.T) {
+	p := spherePatch(8)
+	nodes := Nodes(8)
+	f := func(iRaw, jRaw uint8) bool {
+		i := int(iRaw) % 9
+		j := int(jRaw) % 9
+		got := p.Eval(nodes[i], nodes[j])
+		want := p.Val[i*9+j]
+		for d := 0; d < 3; d++ {
+			if got[d] != want[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := [3]float64{1, 0, 0}
+	b := [3]float64{0, 1, 0}
+	if c := Cross(a, b); c != [3]float64{0, 0, 1} {
+		t.Fatalf("cross %v", c)
+	}
+	if n := Normalize([3]float64{3, 0, 4}); math.Abs(n[0]-0.6) > 1e-15 || math.Abs(n[2]-0.8) > 1e-15 {
+		t.Fatalf("normalize %v", n)
+	}
+	if z := Normalize([3]float64{}); z != [3]float64{} {
+		t.Fatal("normalize zero changed")
+	}
+}

@@ -1,0 +1,212 @@
+// Package quadrature provides the 1D quadrature rules and polynomial
+// interpolation machinery underlying every discretization in rbcflow:
+//
+//   - Gauss–Legendre rules for the latitudinal direction of spherical
+//     harmonic grids on RBC surfaces,
+//   - Clenshaw–Curtis rules for the tensor-product polynomial patches that
+//     discretize the blood vessel (paper §3.1),
+//   - barycentric Lagrange interpolation / differentiation on those nodes,
+//   - the 1D polynomial extrapolation weights used to extrapolate velocities
+//     from check points back to on-surface targets (paper Eq. 3.3).
+package quadrature
+
+import "math"
+
+// GaussLegendre returns the n nodes (in (-1,1), ascending) and weights of the
+// n-point Gauss–Legendre rule, exact for polynomials of degree 2n-1.
+func GaussLegendre(n int) (nodes, weights []float64) {
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		// Initial guess (Chebyshev-like) followed by Newton iterations on P_n.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, x
+			for k := 2; k <= n; k++ {
+				p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+			}
+			// Derivative from the standard identity.
+			pp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	return nodes, weights
+}
+
+// ClenshawCurtis returns the n+1 nodes (in [-1,1], ascending) and weights of
+// the (n+1)-point Clenshaw–Curtis rule on [-1,1].
+func ClenshawCurtis(n int) (nodes, weights []float64) {
+	if n == 0 {
+		return []float64{0}, []float64{2}
+	}
+	m := n + 1
+	nodes = make([]float64, m)
+	weights = make([]float64, m)
+	for j := 0; j <= n; j++ {
+		nodes[j] = -math.Cos(math.Pi * float64(j) / float64(n))
+	}
+	// Exact weights by direct cosine sums (O(n^2), fine at patch orders).
+	for j := 0; j <= n; j++ {
+		theta := math.Pi * float64(j) / float64(n)
+		var s float64
+		for k := 1; k <= n/2; k++ {
+			b := 2.0
+			if 2*k == n {
+				b = 1.0
+			}
+			s += b * math.Cos(2*float64(k)*theta) / float64(4*k*k-1)
+		}
+		w := (2.0 / float64(n)) * (1 - s)
+		if j == 0 || j == n {
+			w /= 2
+		}
+		weights[j] = w
+	}
+	return nodes, weights
+}
+
+// ChebyshevSecond returns n Chebyshev points of the second kind in [-1,1]
+// (the Clenshaw–Curtis nodes), ascending. Used as patch sample points and as
+// black-box FMM interpolation nodes.
+func ChebyshevSecond(n int) []float64 {
+	if n == 1 {
+		return []float64{0}
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = -math.Cos(math.Pi * float64(j) / float64(n-1))
+	}
+	return x
+}
+
+// ChebyshevFirst returns the n Chebyshev points of the first kind (roots of
+// T_n) in (-1,1), ascending. These avoid interval endpoints, which is what
+// the black-box FMM needs for its equivalent sources.
+func ChebyshevFirst(n int) []float64 {
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = -math.Cos(math.Pi * (2*float64(j) + 1) / (2 * float64(n)))
+	}
+	return x
+}
+
+// BaryWeights returns the barycentric weights for Lagrange interpolation on
+// the node set x (distinct points).
+func BaryWeights(x []float64) []float64 {
+	n := len(x)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p := 1.0
+		for k := 0; k < n; k++ {
+			if k != j {
+				p *= x[j] - x[k]
+			}
+		}
+		w[j] = 1 / p
+	}
+	// Rescale to avoid overflow for larger n.
+	maxw := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > maxw {
+			maxw = a
+		}
+	}
+	if maxw > 0 {
+		for j := range w {
+			w[j] /= maxw
+		}
+	}
+	return w
+}
+
+// LagrangeCoeffs returns the interpolation coefficients c such that
+// p(t) = Σ c[j] f(x[j]) for the polynomial interpolant through nodes x.
+// w are the barycentric weights for x. Works for t inside or outside the
+// node interval (the latter is polynomial extrapolation, paper Eq. 3.3).
+func LagrangeCoeffs(x, w []float64, t float64) []float64 {
+	n := len(x)
+	c := make([]float64, n)
+	// Exact node hit.
+	for j := 0; j < n; j++ {
+		if t == x[j] {
+			c[j] = 1
+			return c
+		}
+	}
+	var denom float64
+	for j := 0; j < n; j++ {
+		c[j] = w[j] / (t - x[j])
+		denom += c[j]
+	}
+	for j := range c {
+		c[j] /= denom
+	}
+	return c
+}
+
+// Interpolate evaluates the polynomial interpolant of values f at nodes x
+// (with barycentric weights w) at point t.
+func Interpolate(x, w, f []float64, t float64) float64 {
+	c := LagrangeCoeffs(x, w, t)
+	var s float64
+	for j, cv := range c {
+		s += cv * f[j]
+	}
+	return s
+}
+
+// DiffMatrix returns the (n x n) spectral differentiation matrix D for the
+// node set x with barycentric weights w: (D f)[i] ≈ p'(x[i]) where p
+// interpolates f.
+func DiffMatrix(x, w []float64) [][]float64 {
+	n := len(x)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var diag float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d[i][j] = (w[j] / w[i]) / (x[i] - x[j])
+			diag -= d[i][j]
+		}
+		d[i][i] = diag
+	}
+	return d
+}
+
+// EquispacedSamples returns n equispaced points spanning [-1,1] inclusive
+// (used for collision-detection sample points on patches, paper §5.1).
+func EquispacedSamples(n int) []float64 {
+	if n == 1 {
+		return []float64{0}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = -1 + 2*float64(i)/float64(n-1)
+	}
+	return x
+}
+
+// ExtrapolationWeights returns weights e such that Σ e[q] f(c[q]) ≈ f(t)
+// by polynomial extrapolation through the check-point coordinates c.
+// This is the 1D extrapolation of paper Eq. (3.3): the check points sit at
+// distances R + i*r along the surface normal and the on-surface value is
+// obtained at t (typically 0).
+func ExtrapolationWeights(c []float64, t float64) []float64 {
+	w := BaryWeights(c)
+	return LagrangeCoeffs(c, w, t)
+}

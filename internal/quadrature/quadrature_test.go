@@ -1,0 +1,258 @@
+package quadrature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func polyEval(coef []float64, x float64) float64 {
+	var s float64
+	for i := len(coef) - 1; i >= 0; i-- {
+		s = s*x + coef[i]
+	}
+	return s
+}
+
+func polyIntegral(coef []float64) float64 {
+	// Integral over [-1,1]: odd powers cancel.
+	var s float64
+	for i, c := range coef {
+		if i%2 == 0 {
+			s += 2 * c / float64(i+1)
+		}
+	}
+	return s
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 17} {
+		x, w := GaussLegendre(n)
+		// Exact through degree 2n-1.
+		coef := make([]float64, 2*n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		var got float64
+		for i := range x {
+			got += w[i] * polyEval(coef, x[i])
+		}
+		want := polyIntegral(coef)
+		if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: GL integral %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestGaussLegendreSymmetry(t *testing.T) {
+	x, w := GaussLegendre(10)
+	for i := 0; i < 5; i++ {
+		if math.Abs(x[i]+x[9-i]) > 1e-14 {
+			t.Fatalf("nodes not symmetric: %v vs %v", x[i], x[9-i])
+		}
+		if math.Abs(w[i]-w[9-i]) > 1e-14 {
+			t.Fatalf("weights not symmetric")
+		}
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-13 {
+		t.Fatalf("weights sum %v want 2", sum)
+	}
+}
+
+func TestClenshawCurtisExactness(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 10, 16} {
+		x, w := ClenshawCurtis(n)
+		if len(x) != n+1 {
+			t.Fatalf("want %d nodes, got %d", n+1, len(x))
+		}
+		// CC with n+1 points is exact for degree n.
+		coef := make([]float64, n+1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		var got float64
+		for i := range x {
+			got += w[i] * polyEval(coef, x[i])
+		}
+		want := polyIntegral(coef)
+		if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: CC integral %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestClenshawCurtisWeightsPositive(t *testing.T) {
+	_, w := ClenshawCurtis(12)
+	var sum float64
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatalf("nonpositive CC weight %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-13 {
+		t.Fatalf("CC weights sum %v", sum)
+	}
+}
+
+func TestChebyshevNodes(t *testing.T) {
+	x2 := ChebyshevSecond(5)
+	if x2[0] != -1 || x2[4] != 1 {
+		t.Fatalf("second-kind endpoints wrong: %v", x2)
+	}
+	x1 := ChebyshevFirst(4)
+	for _, v := range x1 {
+		if v <= -1 || v >= 1 {
+			t.Fatalf("first-kind node outside open interval: %v", v)
+		}
+	}
+	for i := 1; i < len(x1); i++ {
+		if x1[i] <= x1[i-1] {
+			t.Fatalf("nodes not ascending: %v", x1)
+		}
+	}
+}
+
+func TestInterpolationReproducesPolynomials(t *testing.T) {
+	n := 9
+	x := ChebyshevSecond(n)
+	w := BaryWeights(x)
+	coef := []float64{0.3, -1, 2, 0.5, -0.25, 1.5, 0, 2, -1} // degree 8
+	f := make([]float64, n)
+	for i := range x {
+		f[i] = polyEval(coef, x[i])
+	}
+	for _, tpt := range []float64{-0.93, -0.4, 0, 0.17, 0.88, 1.2, -1.3} {
+		got := Interpolate(x, w, f, tpt)
+		want := polyEval(coef, tpt)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("interp at %v: got %v want %v", tpt, got, want)
+		}
+	}
+}
+
+func TestInterpolateAtNode(t *testing.T) {
+	x := ChebyshevSecond(6)
+	w := BaryWeights(x)
+	f := []float64{1, 2, 3, 4, 5, 6}
+	for i := range x {
+		if got := Interpolate(x, w, f, x[i]); got != f[i] {
+			t.Fatalf("node hit %d: got %v want %v", i, got, f[i])
+		}
+	}
+}
+
+func TestDiffMatrix(t *testing.T) {
+	n := 10
+	x := ChebyshevSecond(n)
+	w := BaryWeights(x)
+	d := DiffMatrix(x, w)
+	// Differentiate sin on nodes; compare to cos.
+	f := make([]float64, n)
+	for i := range x {
+		f[i] = math.Sin(x[i])
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += d[i][j] * f[j]
+		}
+		if math.Abs(s-math.Cos(x[i])) > 1e-7 {
+			t.Fatalf("diff at node %d: got %v want %v", i, s, math.Cos(x[i]))
+		}
+	}
+}
+
+func TestExtrapolationWeights(t *testing.T) {
+	// Check points at R + i*r, mimic paper's setup; extrapolate to 0.
+	p := 8
+	R, r := 0.1, 0.0125
+	c := make([]float64, p+1)
+	for i := range c {
+		c[i] = R + float64(i)*r
+	}
+	e := ExtrapolationWeights(c, 0)
+	// Must reproduce polynomials of degree <= p at 0.
+	for deg := 0; deg <= p; deg++ {
+		var got float64
+		for i, ci := range c {
+			got += e[i] * math.Pow(ci, float64(deg))
+		}
+		want := 0.0
+		if deg == 0 {
+			want = 1
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("deg %d: extrapolated %v want %v", deg, got, want)
+		}
+	}
+}
+
+func TestEquispacedSamples(t *testing.T) {
+	x := EquispacedSamples(5)
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-15 {
+			t.Fatalf("equispaced got %v", x)
+		}
+	}
+	if x := EquispacedSamples(1); x[0] != 0 {
+		t.Fatalf("single sample should be 0")
+	}
+}
+
+// Property: Gauss-Legendre integrates random degree-(2n-1) monomials exactly.
+func TestQuickGLMonomials(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		deg := rng.Intn(2 * n)
+		x, w := GaussLegendre(n)
+		var got float64
+		for i := range x {
+			got += w[i] * math.Pow(x[i], float64(deg))
+		}
+		want := 0.0
+		if deg%2 == 0 {
+			want = 2 / float64(deg+1)
+		}
+		return math.Abs(got-want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: barycentric interpolation is linear in the data.
+func TestQuickInterpLinearity(t *testing.T) {
+	x := ChebyshevSecond(7)
+	w := BaryWeights(x)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 7)
+		b := make([]float64, 7)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+		tpt := 2*rng.Float64() - 1
+		comb := make([]float64, 7)
+		for i := range comb {
+			comb[i] = a[i] + alpha*b[i]
+		}
+		lhs := Interpolate(x, w, comb, tpt)
+		rhs := Interpolate(x, w, a, tpt) + alpha*Interpolate(x, w, b, tpt)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package rbc
+
+import (
+	"math"
+
+	"rbcflow/internal/sht"
+)
+
+// SingularQuad holds the precomputed pole-rotation singular quadrature for
+// the self-interaction single-layer potential (the [14]/[48] scheme; the
+// rotation operators are shape-independent and precomputed once per
+// spherical-harmonic order, as in [28], shared by every cell and time step).
+type SingularQuad struct {
+	P    int
+	Grid *sht.Grid
+	// Rot[i] is the (npts × npts) operator taking grid values of a field to
+	// its values at the grid rotated so that (θ_i, 0) maps to the north
+	// pole.
+	Rot []([]float64)
+	// WGS[i'] are the per-latitude Graham–Sloan-type weights integrating
+	// g(y)/(2 sin(θ'/2)) over the rotated sphere exactly for band-limited g.
+	WGS []float64
+	// SinHalf[i'] = 2 sin(θ'_i/2) at the rotated grid latitudes.
+	SinHalf []float64
+}
+
+var sqCache = map[int]*SingularQuad{}
+
+// NewSingularQuad builds (and caches) the quadrature for order p.
+func NewSingularQuad(p int) *SingularQuad {
+	if sq, ok := sqCache[p]; ok {
+		return sq
+	}
+	g := sht.NewGrid(p)
+	n := g.NumPoints()
+	nc := sht.NumCoeffs(p)
+	sq := &SingularQuad{P: p, Grid: g}
+
+	// Forward-transform matrix F: values -> packed (A, B) coefficients.
+	// Columns are transforms of nodal deltas.
+	F := make([]float64, 2*nc*n)
+	delta := make([]float64, n)
+	for col := 0; col < n; col++ {
+		delta[col] = 1
+		co := g.Forward(delta)
+		delta[col] = 0
+		for idx := 0; idx < nc; idx++ {
+			F[idx*n+col] = co.A[idx]
+			F[(nc+idx)*n+col] = co.B[idx]
+		}
+	}
+
+	// Per-latitude rotation: target (θ_t, 0) -> north pole. The rotation is
+	// about the y-axis by angle θ_t: a grid point with rotated-frame
+	// direction d' has original direction d = R_y(θ_t) d'.
+	sq.Rot = make([][]float64, g.Nlat)
+	for it := 0; it < g.Nlat; it++ {
+		tt := g.Theta[it]
+		ct, st := math.Cos(tt), math.Sin(tt)
+		// Evaluation matrix E: coefficients -> values at rotated points.
+		E := make([]float64, n*2*nc)
+		plm := make([]float64, nc)
+		for gi := 0; gi < g.Nlat; gi++ {
+			for gj := 0; gj < g.Nlon; gj++ {
+				// Rotated-frame direction.
+				sp, cp := math.Sin(g.Phi[gj]), math.Cos(g.Phi[gj])
+				sθ, cθ := math.Sin(g.Theta[gi]), math.Cos(g.Theta[gi])
+				d := [3]float64{sθ * cp, sθ * sp, cθ}
+				// Original-frame direction: rotate by θ_t about y.
+				o := [3]float64{ct*d[0] + st*d[2], d[1], -st*d[0] + ct*d[2]}
+				theta := math.Acos(clamp(o[2], -1, 1))
+				phi := math.Atan2(o[1], o[0])
+				sht.NormalizedLegendre(p, math.Cos(theta), plm)
+				row := E[(gi*g.Nlon+gj)*2*nc:]
+				for nn := 0; nn <= p; nn++ {
+					base := nn * (nn + 1) / 2
+					row[base] = plm[base] * sqrt2PiInv
+					for m := 1; m <= nn; m++ {
+						fm := float64(m)
+						row[base+m] = plm[base+m] * sqrtPiInv * math.Cos(fm*phi)
+						row[nc+base+m] = plm[base+m] * sqrtPiInv * math.Sin(fm*phi)
+					}
+				}
+			}
+		}
+		// Rot = E · F  (n × n).
+		R := make([]float64, n*n)
+		for r := 0; r < n; r++ {
+			erow := E[r*2*nc : (r+1)*2*nc]
+			rrow := R[r*n : (r+1)*n]
+			for k := 0; k < 2*nc; k++ {
+				ek := erow[k]
+				if ek == 0 {
+					continue
+				}
+				frow := F[k*n : (k+1)*n]
+				for cI := 0; cI < n; cI++ {
+					rrow[cI] += ek * frow[cI]
+				}
+			}
+		}
+		sq.Rot[it] = R
+	}
+
+	// Graham–Sloan-type weights: for band-limited h,
+	// ∫ h(y)/(2 sin(θ/2)) dΩ = Σ_n A_{n0}(h) √(4π/(2n+1)), which as grid
+	// weights is w_i Δφ Σ_n P̄_n⁰(x_i) √2/√(2n+1), independent of longitude.
+	dphi := 2 * math.Pi / float64(g.Nlon)
+	sq.WGS = make([]float64, g.Nlat)
+	sq.SinHalf = make([]float64, g.Nlat)
+	plm := make([]float64, nc)
+	for i := 0; i < g.Nlat; i++ {
+		sht.NormalizedLegendre(p, g.X[i], plm)
+		var s float64
+		for nn := 0; nn <= p; nn++ {
+			s += plm[nn*(nn+1)/2] * math.Sqrt2 / math.Sqrt(2*float64(nn)+1)
+		}
+		sq.WGS[i] = g.Wlat[i] * dphi * s
+		sq.SinHalf[i] = 2 * math.Sin(g.Theta[i]/2)
+	}
+	sqCache[p] = sq
+	return sq
+}
+
+const (
+	sqrt2PiInv = 0.3989422804014327
+	sqrtPiInv  = 0.5641895835477563
+)
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// shiftLon writes src circularly shifted by -j0 in longitude into dst.
+func (sq *SingularQuad) shiftLon(dst, src []float64, j0 int) {
+	g := sq.Grid
+	for i := 0; i < g.Nlat; i++ {
+		row := src[i*g.Nlon : (i+1)*g.Nlon]
+		out := dst[i*g.Nlon : (i+1)*g.Nlon]
+		for j := 0; j < g.Nlon; j++ {
+			out[j] = row[(j+j0)%g.Nlon]
+		}
+	}
+}
+
+// SelfSingleLayer evaluates the single-layer self-interaction
+// u(x_t) = ∫_γ S(x_t, y) f(y) dA(y) at every grid point x_t of the cell,
+// with force density f (per unit area, component-major) and viscosity mu.
+//
+// For each target, all fields are rotated so the target sits at the north
+// pole (longitude shift + precomputed latitude rotation); the integrand is
+// split as F(y)/(2 sin(θ'/2)) with F smooth, and the Graham–Sloan weights
+// integrate the 1/|p−y| singularity spectrally.
+func (c *Cell) SelfSingleLayer(sq *SingularQuad, geo *Geometry, mu float64, f [3][]float64) [3][]float64 {
+	g := c.Grid
+	n := g.NumPoints()
+	var out [3][]float64
+	for d := 0; d < 3; d++ {
+		out[d] = make([]float64, n)
+	}
+	// Fields to rotate: positions (3), force density (3), and the smooth
+	// area-element ratio Ĵ = W/sinθ.
+	jhat := make([]float64, n)
+	for i := 0; i < g.Nlat; i++ {
+		st := math.Sin(g.Theta[i])
+		for j := 0; j < g.Nlon; j++ {
+			jhat[g.Index(i, j)] = geo.W[g.Index(i, j)] / st
+		}
+	}
+	shifted := make([][]float64, 7)
+	rotated := make([][]float64, 7)
+	for d := 0; d < 7; d++ {
+		shifted[d] = make([]float64, n)
+		rotated[d] = make([]float64, n)
+	}
+	fields := [][]float64{c.X[0], c.X[1], c.X[2], f[0], f[1], f[2], jhat}
+
+	c8pi := 1 / (8 * math.Pi * mu)
+	for it := 0; it < g.Nlat; it++ {
+		R := sq.Rot[it]
+		for jt := 0; jt < g.Nlon; jt++ {
+			tk := g.Index(it, jt)
+			x := [3]float64{c.X[0][tk], c.X[1][tk], c.X[2][tk]}
+			// Shift longitudes so the target is at φ = 0, then rotate.
+			for d := 0; d < 7; d++ {
+				sq.shiftLon(shifted[d], fields[d], jt)
+				rv := rotated[d]
+				for r := 0; r < n; r++ {
+					row := R[r*n : (r+1)*n]
+					var s float64
+					for k2, v := range shifted[d] {
+						s += row[k2] * v
+					}
+					rv[r] = s
+				}
+			}
+			var acc [3]float64
+			for gi := 0; gi < g.Nlat; gi++ {
+				w := sq.WGS[gi]
+				sh := sq.SinHalf[gi]
+				for gj := 0; gj < g.Nlon; gj++ {
+					r := gi*g.Nlon + gj
+					ry := [3]float64{x[0] - rotated[0][r], x[1] - rotated[1][r], x[2] - rotated[2][r]}
+					r2 := ry[0]*ry[0] + ry[1]*ry[1] + ry[2]*ry[2]
+					if r2 < 1e-28 {
+						continue
+					}
+					dist := math.Sqrt(r2)
+					fv := [3]float64{rotated[3][r], rotated[4][r], rotated[5][r]}
+					rdotf := ry[0]*fv[0] + ry[1]*fv[1] + ry[2]*fv[2]
+					// S(x,y)f · |x−y| (smooth scaling by the chordal ratio).
+					scale := c8pi * rotated[6][r] * w * sh / dist
+					inv2 := 1 / r2
+					acc[0] += scale * (fv[0] + ry[0]*rdotf*inv2)
+					acc[1] += scale * (fv[1] + ry[1]*rdotf*inv2)
+					acc[2] += scale * (fv[2] + ry[2]*rdotf*inv2)
+				}
+			}
+			out[0][tk] = acc[0]
+			out[1][tk] = acc[1]
+			out[2][tk] = acc[2]
+		}
+	}
+	return out
+}

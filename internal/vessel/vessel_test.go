@@ -1,0 +1,111 @@
+package vessel
+
+import (
+	"math"
+	"testing"
+
+	"rbcflow/internal/bie"
+	"rbcflow/internal/forest"
+)
+
+func torusSurface(level int) *bie.Surface {
+	roots := TorusRoots(8, 6, 4, 3, 1)
+	f := forest.NewUniform(roots, level)
+	return bie.NewSurface(f, bie.Params{QuadNodes: 7, Eta: 1, ExtrapOrder: 4, CheckR: 0.125, CheckDr: 0.125, NearFactor: 0.8})
+}
+
+func TestTorusVolume(t *testing.T) {
+	s := torusSurface(0)
+	// Torus volume = 2π²Rr² = 2π²·3·1.
+	want := 2 * math.Pi * math.Pi * 3
+	if got := Volume(s); math.Abs(got-want) > 0.02*want {
+		t.Fatalf("torus volume %v want %v", got, want)
+	}
+}
+
+func TestTorusInsideIndicator(t *testing.T) {
+	s := torusSurface(0)
+	if v := s.InsideIndicator([3]float64{3, 0, 0}); math.Abs(v-1) > 0.05 {
+		t.Fatalf("tube center should be inside: %v", v)
+	}
+	if v := s.InsideIndicator([3]float64{0, 0, 0}); math.Abs(v) > 0.05 {
+		t.Fatalf("hole center should be outside: %v", v)
+	}
+}
+
+func TestCapsuleVolume(t *testing.T) {
+	roots := CapsuleRoots(8, 2, [3]float64{1, 1, 1.5})
+	f := forest.NewUniform(roots, 0)
+	s := bie.NewSurface(f, bie.Params{QuadNodes: 7})
+	want := 4.0 / 3 * math.Pi * 2 * 2 * 3 // ellipsoid abc = 2·2·3
+	if got := Volume(s); math.Abs(got-want) > 0.02*want {
+		t.Fatalf("capsule volume %v want %v", got, want)
+	}
+}
+
+func TestTrefoilBuilds(t *testing.T) {
+	roots := TrefoilRoots(8, 12, 4, 1, 0.6)
+	if len(roots) != 48 {
+		t.Fatalf("trefoil root count %d", len(roots))
+	}
+	f := forest.NewUniform(roots, 0)
+	if a := f.TotalArea(); a <= 0 || math.IsNaN(a) {
+		t.Fatalf("trefoil area %v", a)
+	}
+}
+
+func TestFillPlacesCellsInside(t *testing.T) {
+	s := torusSurface(0)
+	cells := Fill(s, FillParams{
+		SphOrder: 4, Spacing: 1.2, Radius: 0.35, WallMargin: 0.15, MaxCells: 12, Seed: 1,
+	})
+	if len(cells) == 0 {
+		t.Fatal("no cells placed")
+	}
+	for i, c := range cells {
+		ctr := c.Centroid()
+		if v := s.InsideIndicator(ctr); math.Abs(v-1) > 0.1 {
+			t.Fatalf("cell %d centroid outside vessel: indicator %v", i, v)
+		}
+	}
+	vf := VolumeFraction(s, cells)
+	if vf <= 0 || vf > 0.6 {
+		t.Fatalf("volume fraction %v implausible", vf)
+	}
+}
+
+func TestFillCellsDisjoint(t *testing.T) {
+	s := torusSurface(0)
+	cells := Fill(s, FillParams{
+		SphOrder: 4, Spacing: 1.2, Radius: 0.35, WallMargin: 0.15, MaxCells: 10, Seed: 2,
+	})
+	for i := range cells {
+		for j := i + 1; j < len(cells); j++ {
+			ci, cj := cells[i].Centroid(), cells[j].Centroid()
+			d := math.Sqrt((ci[0]-cj[0])*(ci[0]-cj[0]) + (ci[1]-cj[1])*(ci[1]-cj[1]) + (ci[2]-cj[2])*(ci[2]-cj[2]))
+			if d < 0.8 { // 2·max radius ≈ 0.8 with jitter margin
+				t.Fatalf("cells %d,%d too close: %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestWallInflowTangential(t *testing.T) {
+	s := torusSurface(0)
+	g := WallInflow(s, 0, math.Pi/2, 1.0)
+	var active int
+	for k, n := range s.Nrm {
+		gv := [3]float64{g[3*k], g[3*k+1], g[3*k+2]}
+		mag := math.Sqrt(gv[0]*gv[0] + gv[1]*gv[1] + gv[2]*gv[2])
+		if mag > 1e-12 {
+			active++
+			dn := gv[0]*n[0] + gv[1]*n[1] + gv[2]*n[2]
+			if math.Abs(dn)/mag > 1e-8 {
+				t.Fatalf("inflow not tangential at node %d", k)
+			}
+		}
+	}
+	if active == 0 {
+		t.Fatal("no active inflow nodes")
+	}
+}

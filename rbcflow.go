@@ -1,0 +1,126 @@
+// Package rbcflow is a Go reproduction of "Scalable Simulation of Realistic
+// Volume Fraction Red Blood Cell Flows through Vascular Networks"
+// (Lu, Morse, Rahimian, Stadler, Zorin — SC '19): a boundary-integral
+// platform for simulating deformable red blood cells in Stokes flow through
+// rigid vascular geometries, with constraint-based collision handling and a
+// distributed (rank-based) execution model.
+//
+// The public API wraps the internal subsystems:
+//
+//	sim := rbcflow.NewShearSimulation(...)      // free-space flows
+//	sim := rbcflow.NewVesselSimulation(...)     // flows through a vessel
+//	world := rbcflow.Run(ranks, machine, func(c *rbcflow.Comm) {
+//	    for i := 0; i < steps; i++ { sim.Step(c) }
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package rbcflow
+
+import (
+	"rbcflow/internal/bie"
+	"rbcflow/internal/core"
+	"rbcflow/internal/forest"
+	"rbcflow/internal/par"
+	"rbcflow/internal/patch"
+	"rbcflow/internal/rbc"
+	"rbcflow/internal/vessel"
+)
+
+// Re-exported fundamental types.
+type (
+	// Comm is a rank's communicator handle (the MPI substitute).
+	Comm = par.Comm
+	// World holds the virtual-time ledger of a distributed run.
+	World = par.World
+	// Machine models the cluster node type (SKX/KNL).
+	Machine = par.Machine
+	// Config configures a simulation (see core.Config).
+	Config = core.Config
+	// Simulation is the time-stepping state.
+	Simulation = core.Simulation
+	// StepStats summarizes one time step.
+	StepStats = core.StepStats
+	// Cell is one red blood cell surface.
+	Cell = rbc.Cell
+	// Surface is a discretized vessel boundary.
+	Surface = bie.Surface
+	// BIEParams are the boundary-solver discretization parameters.
+	BIEParams = bie.Params
+	// FMMConfig are the fast-summation accuracy knobs.
+	FMMConfig = bie.FMMConfig
+	// Patch is a polynomial surface patch.
+	Patch = patch.Patch
+	// Forest is a refinable collection of patches.
+	Forest = forest.Forest
+	// FillParams configures the RBC filling algorithm.
+	FillParams = vessel.FillParams
+)
+
+// BIE operator modes.
+const (
+	ModeLocal  = bie.ModeLocal
+	ModeGlobal = bie.ModeGlobal
+)
+
+// Run executes an SPMD body on p ranks with the given machine model and
+// returns the world ledger (virtual time, per-category breakdown).
+func Run(p int, m Machine, body func(c *Comm)) *World { return par.Run(p, m, body) }
+
+// SKX and KNL are the two Stampede2-like machine models of the paper.
+func SKX() Machine { return par.SKX() }
+func KNL() Machine { return par.KNL() }
+
+// NewSimulation builds a simulation from a global cell list and an optional
+// vessel surface with boundary condition g (nil = no-slip).
+func NewSimulation(c *Comm, cfg Config, cells []*Cell, surf *Surface, g []float64) *Simulation {
+	return core.New(c, cfg, cells, surf, g)
+}
+
+// NewBiconcaveCell returns the standard biconcave RBC rest shape.
+func NewBiconcaveCell(order int, radius float64, center [3]float64) *Cell {
+	return rbc.NewBiconcaveCell(order, radius, center, nil)
+}
+
+// NewSphereCell returns a spherical cell.
+func NewSphereCell(order int, radius float64, center [3]float64) *Cell {
+	return rbc.NewSphereCell(order, radius, center)
+}
+
+// TorusVessel builds a torus channel surface (major radius R, tube radius
+// r) refined to the given level.
+func TorusVessel(level int, R, r float64, prm BIEParams) *Surface {
+	f := forest.NewUniform(vessel.TorusRoots(8, 6, 4, R, r), level)
+	return bie.NewSurface(f, prm)
+}
+
+// TrefoilVessel builds the complex knotted channel standing in for the
+// Fig. 1 vascular network.
+func TrefoilVessel(level int, scale, r float64, prm BIEParams) *Surface {
+	f := forest.NewUniform(vessel.TrefoilRoots(8, 12, 4, scale, r), level)
+	return bie.NewSurface(f, prm)
+}
+
+// CapsuleVessel builds the sedimentation container of Fig. 7.
+func CapsuleVessel(level int, radius float64, axes [3]float64, prm BIEParams) *Surface {
+	f := forest.NewUniform(vessel.CapsuleRoots(8, radius, axes), level)
+	return bie.NewSurface(f, prm)
+}
+
+// Fill populates a vessel with nearly-touching cells (paper §5.1).
+func Fill(s *Surface, prm FillParams) []*Cell { return vessel.Fill(s, prm) }
+
+// VolumeFraction returns cell volume / vessel volume (paper §5.4).
+func VolumeFraction(s *Surface, cells []*Cell) float64 { return vessel.VolumeFraction(s, cells) }
+
+// VesselVolume returns the enclosed volume of a vessel surface.
+func VesselVolume(s *Surface) float64 { return vessel.Volume(s) }
+
+// WallInflow builds the tangential driving boundary condition on a torus
+// channel window (zero net flux).
+func WallInflow(s *Surface, th0, th1, speed float64) []float64 {
+	return vessel.WallInflow(s, th0, th1, speed)
+}
+
+// DefaultBIEParams returns the calibrated boundary-solver parameters.
+func DefaultBIEParams() BIEParams { return bie.DefaultParams() }

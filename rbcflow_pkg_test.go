@@ -1,0 +1,78 @@
+package rbcflow_test
+
+import (
+	"math"
+	"testing"
+
+	"rbcflow"
+)
+
+func TestPublicAPIShearFlow(t *testing.T) {
+	cfg := rbcflow.Config{
+		SphOrder: 4, Mu: 1, KappaB: 0.05, Dt: 0.05, MinSep: 0.05,
+		Background:  func(x [3]float64) [3]float64 { return [3]float64{x[2], 0, 0} },
+		CollisionOn: true,
+		FMM:         rbcflow.FMMConfig{DirectBelow: 1 << 40},
+	}
+	cells := []*rbcflow.Cell{
+		rbcflow.NewBiconcaveCell(4, 1, [3]float64{-2, 0, 0.4}),
+		rbcflow.NewBiconcaveCell(4, 1, [3]float64{2, 0, -0.4}),
+	}
+	world := rbcflow.Run(1, rbcflow.SKX(), func(c *rbcflow.Comm) {
+		sim := rbcflow.NewSimulation(c, cfg, cells, nil, nil)
+		sim.Step(c)
+		cen := sim.Centroids()
+		if !(cen[0][0] > -2 && cen[1][0] < 2) {
+			t.Errorf("shear advection wrong: %v", cen)
+		}
+	})
+	if world.VirtualTime() <= 0 {
+		t.Fatal("no virtual time recorded")
+	}
+}
+
+func TestPublicAPIVesselConstruction(t *testing.T) {
+	prm := rbcflow.DefaultBIEParams()
+	prm.QuadNodes = 7
+	surf := rbcflow.TorusVessel(0, 3, 1, prm)
+	if surf.F.NumPatches() != 24 {
+		t.Fatalf("torus patches %d", surf.F.NumPatches())
+	}
+	want := 2 * math.Pi * math.Pi * 3
+	if v := rbcflow.VesselVolume(surf); math.Abs(v-want) > 0.05*want {
+		t.Fatalf("torus volume %v want %v", v, want)
+	}
+	cells := rbcflow.Fill(surf, rbcflow.FillParams{
+		SphOrder: 4, Spacing: 1.3, Radius: 0.35, WallMargin: 0.15, MaxCells: 6, Seed: 1,
+	})
+	if len(cells) == 0 {
+		t.Fatal("fill produced no cells")
+	}
+	if vf := rbcflow.VolumeFraction(surf, cells); vf <= 0 || vf > 0.5 {
+		t.Fatalf("volume fraction %v", vf)
+	}
+	g := rbcflow.WallInflow(surf, 0, math.Pi/2, 1)
+	if len(g) != 3*len(surf.Pts) {
+		t.Fatalf("inflow BC length %d", len(g))
+	}
+}
+
+func TestPublicAPICapsuleAndTrefoil(t *testing.T) {
+	prm := rbcflow.DefaultBIEParams()
+	prm.QuadNodes = 7
+	cap0 := rbcflow.CapsuleVessel(0, 2, [3]float64{1, 1, 1}, prm)
+	want := 4.0 / 3 * math.Pi * 8
+	if v := rbcflow.VesselVolume(cap0); math.Abs(v-want) > 0.05*want {
+		t.Fatalf("capsule volume %v want %v", v, want)
+	}
+	tre := rbcflow.TrefoilVessel(0, 1, 0.6, prm)
+	if tre.F.NumPatches() != 48 {
+		t.Fatalf("trefoil patches %d", tre.F.NumPatches())
+	}
+}
+
+func TestMachineModels(t *testing.T) {
+	if rbcflow.SKX().ComputeScale >= rbcflow.KNL().ComputeScale {
+		t.Fatal("KNL cores must be slower than SKX cores")
+	}
+}
