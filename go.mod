@@ -1,0 +1,3 @@
+module rbcflow
+
+go 1.22

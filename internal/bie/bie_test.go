@@ -117,6 +117,9 @@ func TestInsideIndicator(t *testing.T) {
 }
 
 func TestApplyConstantDensityIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~20s convergence test; run without -short")
+	}
 	// For constant ϕ₀, (interior-limit D + N)ϕ₀ = ϕ₀ on a closed surface.
 	f := cubeSphere(8, 1, 1)
 	s := NewSurface(f, testParams())
@@ -205,6 +208,9 @@ func (a *analyticStokes) At(x [3]float64) [3]float64 {
 }
 
 func TestSolveInteriorDirichlet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~30s convergence test; run without -short")
+	}
 	// The core Fig. 9 setup at fixed resolution: solve the BIE with boundary
 	// data from an analytic exterior-Stokeslet field; the reconstructed
 	// velocity must match the analytic field inside the domain.
@@ -252,6 +258,9 @@ func TestSolveInteriorDirichlet(t *testing.T) {
 }
 
 func TestOnSurfaceVelocityMatchesBC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~14s convergence test; run without -short")
+	}
 	// After solving, the on-surface velocity at NON-collocation points must
 	// reproduce the boundary condition (the Fig. 9 error metric).
 	f := cubeSphere(8, 1, 1)

@@ -11,6 +11,9 @@ import (
 // TestDebugDenseOperator assembles the Nyström matrix explicitly on a small
 // sphere and solves densely, isolating operator-assembly issues from GMRES.
 func TestDebugDenseOperator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~8s dense-assembly test; run without -short")
+	}
 	f := cubeSphere(8, 1, 0)
 	s := NewSurface(f, testParams())
 	an := newAnalyticStokes(1)

@@ -1,0 +1,145 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"rbcflow/internal/la"
+)
+
+// FlowSolution holds the reduced-order (Poiseuille/Kirchhoff) solution.
+type FlowSolution struct {
+	// P[i] is the pressure at node i.
+	P []float64
+	// Q[s] is the volumetric flow through segment s, positive from A to B.
+	Q []float64
+	// Cond[s] is the segment conductance πr⁴/(8μL).
+	Cond []float64
+}
+
+// SolveFlow assembles and solves the reduced-order network flow model: each
+// segment is a Poiseuille impedance Q = C·Δp with C = πr⁴/(8μL), and
+// Kirchhoff mass conservation holds at every node. Terminal nodes may carry
+// pressure or flow boundary conditions; terminals without a BC are capped
+// dead ends (zero flux). If no pressure BC is present, flow BCs must sum to
+// zero and the pressure level is pinned at node 0.
+func SolveFlow(n *Network, mu float64) (*FlowSolution, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if mu <= 0 {
+		return nil, fmt.Errorf("network: viscosity must be positive, got %g", mu)
+	}
+	nn := len(n.Nodes)
+	cond := make([]float64, len(n.Segs))
+	for si, s := range n.Segs {
+		r := s.Radius
+		L := n.SegmentLength(si)
+		if L <= 0 {
+			return nil, fmt.Errorf("network: segment %d has zero length", si)
+		}
+		cond[si] = math.Pi * r * r * r * r / (8 * mu * L)
+	}
+
+	havePressure := false
+	var flowSum float64
+	for _, nd := range n.Nodes {
+		switch nd.BC.Kind {
+		case BCPressure:
+			havePressure = true
+		case BCFlow:
+			flowSum += nd.BC.Value
+		}
+	}
+	if !havePressure && math.Abs(flowSum) > 1e-9*(1+math.Abs(flowSum)) {
+		return nil, fmt.Errorf("network: flow-only boundary conditions must sum to zero, got %g", flowSum)
+	}
+
+	// Unknowns: nodal pressures. Row i is either the Dirichlet condition
+	// p_i = value, the pinning row (flow-only networks), or Kirchhoff:
+	// Σ_s C_s (p_i − p_other) = Q_ext(i).
+	A := la.NewDense(nn, nn)
+	b := make([]float64, nn)
+	for i, nd := range n.Nodes {
+		if nd.BC.Kind == BCPressure {
+			A.Set(i, i, 1)
+			b[i] = nd.BC.Value
+			continue
+		}
+		if !havePressure && i == 0 {
+			A.Set(i, i, 1)
+			b[i] = 0
+			continue
+		}
+		if nd.BC.Kind == BCFlow {
+			b[i] = nd.BC.Value
+		}
+		for si, s := range n.Segs {
+			var other int
+			switch i {
+			case s.A:
+				other = s.B
+			case s.B:
+				other = s.A
+			default:
+				continue
+			}
+			A.Set(i, i, A.At(i, i)+cond[si])
+			A.Set(i, other, A.At(i, other)-cond[si])
+		}
+	}
+	p, err := la.SolveDense(A, b)
+	if err != nil {
+		return nil, fmt.Errorf("network: flow system solve: %w", err)
+	}
+	q := make([]float64, len(n.Segs))
+	for si, s := range n.Segs {
+		q[si] = cond[si] * (p[s.A] - p[s.B])
+	}
+	return &FlowSolution{P: p, Q: q, Cond: cond}, nil
+}
+
+// TerminalInflow returns the volumetric flow entering the network through
+// terminal node t (positive into the network, negative out). t must have
+// degree 1.
+func (f *FlowSolution) TerminalInflow(n *Network, t int) float64 {
+	for si, s := range n.Segs {
+		if s.A == t {
+			return f.Q[si]
+		}
+		if s.B == t {
+			return -f.Q[si]
+		}
+	}
+	return 0
+}
+
+// NodeImbalance returns |ΣQ_in − ΣQ_out| at node i, counting boundary
+// inflow at terminals; ideally zero everywhere.
+func (f *FlowSolution) NodeImbalance(n *Network, i int) float64 {
+	var net float64
+	for si, s := range n.Segs {
+		if s.A == i {
+			net -= f.Q[si]
+		}
+		if s.B == i {
+			net += f.Q[si]
+		}
+	}
+	if n.Nodes[i].BC.Kind == BCFlow {
+		net += n.Nodes[i].BC.Value
+	} else if n.Nodes[i].BC.Kind == BCPressure {
+		// Pressure terminals exchange flow with the exterior freely.
+		net += f.TerminalInflow(n, i)
+	}
+	return math.Abs(net)
+}
+
+// MaxImbalance returns the worst NodeImbalance over all nodes.
+func (f *FlowSolution) MaxImbalance(n *Network) float64 {
+	var worst float64
+	for i := range n.Nodes {
+		worst = math.Max(worst, f.NodeImbalance(n, i))
+	}
+	return worst
+}

@@ -1,0 +1,339 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"rbcflow/internal/bie"
+	"rbcflow/internal/forest"
+	"rbcflow/internal/patch"
+)
+
+// sweep carries a rotation-minimizing frame (RMF) along a centerline,
+// computed by the double-reflection method on a fixed station grid. This
+// generalizes the trefoil's fixed-up-vector frame to arbitrary segment
+// directions (where a fixed reference degenerates).
+type sweep struct {
+	cu  *Curve
+	n1s [][3]float64 // RMF normal at each station
+	m   int
+}
+
+const sweepStations = 128
+
+func newSweep(cu *Curve) *sweep {
+	m := sweepStations
+	s := &sweep{cu: cu, m: m, n1s: make([][3]float64, m)}
+	t0 := cu.UnitTangent(0)
+	// Seed normal: any unit vector orthogonal to the initial tangent.
+	seed := [3]float64{0, 0, 1}
+	if math.Abs(patch.DotV(seed, t0)) > 0.9 {
+		seed = [3]float64{0, 1, 0}
+	}
+	d := patch.DotV(seed, t0)
+	s.n1s[0] = patch.Normalize([3]float64{seed[0] - d*t0[0], seed[1] - d*t0[1], seed[2] - d*t0[2]})
+	for i := 0; i+1 < m; i++ {
+		ti := float64(i) / float64(m-1)
+		tj := float64(i+1) / float64(m-1)
+		xi, xj := cu.Point(ti), cu.Point(tj)
+		tani, tanj := cu.UnitTangent(ti), cu.UnitTangent(tj)
+		// Double reflection (Wang et al. 2008): reflect across the chord
+		// bisector plane, then across the tangent bisector plane.
+		v1 := [3]float64{xj[0] - xi[0], xj[1] - xi[1], xj[2] - xi[2]}
+		c1 := patch.DotV(v1, v1)
+		rL, tL := s.n1s[i], tani
+		if c1 > 0 {
+			k := 2 * patch.DotV(v1, rL) / c1
+			rL = [3]float64{rL[0] - k*v1[0], rL[1] - k*v1[1], rL[2] - k*v1[2]}
+			k = 2 * patch.DotV(v1, tL) / c1
+			tL = [3]float64{tL[0] - k*v1[0], tL[1] - k*v1[1], tL[2] - k*v1[2]}
+		}
+		v2 := [3]float64{tanj[0] - tL[0], tanj[1] - tL[1], tanj[2] - tL[2]}
+		c2 := patch.DotV(v2, v2)
+		if c2 > 0 {
+			k := 2 * patch.DotV(v2, rL) / c2
+			rL = [3]float64{rL[0] - k*v2[0], rL[1] - k*v2[1], rL[2] - k*v2[2]}
+		}
+		s.n1s[i+1] = patch.Normalize(rL)
+	}
+	return s
+}
+
+// Frame returns the orthonormal frame (tan, n1, n2) at t, with n2 = n1×tan
+// so that an (axis, angle) sweep parameterization has du×dv pointing out of
+// the tube (away from the centerline), matching the fluid-inside convention.
+func (s *sweep) Frame(t float64) (tan, n1, n2 [3]float64) {
+	tan = s.cu.UnitTangent(t)
+	x := t * float64(s.m-1)
+	i := int(x)
+	if i >= s.m-1 {
+		i = s.m - 2
+	}
+	fr := x - float64(i)
+	a, b := s.n1s[i], s.n1s[i+1]
+	n1 = [3]float64{a[0] + fr*(b[0]-a[0]), a[1] + fr*(b[1]-a[1]), a[2] + fr*(b[2]-a[2])}
+	d := patch.DotV(n1, tan)
+	n1 = patch.Normalize([3]float64{n1[0] - d*tan[0], n1[1] - d*tan[1], n1[2] - d*tan[2]})
+	n2 = patch.Cross(n1, tan)
+	return tan, n1, n2
+}
+
+// RootKind labels what a root patch represents.
+type RootKind int
+
+const (
+	// RootWall is a no-slip tube barrel patch.
+	RootWall RootKind = iota
+	// RootTerminalCap is a flat inlet/outlet disk at a degree-1 node — the
+	// patches on which the parabolic velocity boundary condition lives.
+	RootTerminalCap
+	// RootJunctionCap is a hemispherical end bulge at a junction node; the
+	// bulges of the segments meeting there overlap and keep the union of
+	// capsules connected through the junction.
+	RootJunctionCap
+)
+
+// RootMeta describes one root patch of a network geometry.
+type RootMeta struct {
+	Kind RootKind
+	Seg  int // owning segment
+	Node int // node index for caps, -1 for wall patches
+}
+
+// Cap records one terminal (inlet/outlet) disk.
+type Cap struct {
+	Node, Seg int
+	Center    [3]float64
+	AxisIn    [3]float64 // unit axis pointing into the network
+	Radius    float64
+}
+
+// TubeParams configures the swept-tube surface generator.
+type TubeParams struct {
+	// Order is the polynomial patch order (default 8).
+	Order int
+	// NV is the number of patches around the circumference (default 4).
+	NV int
+	// AxialLen is the target axial patch length in units of the tube radius
+	// (default 2.5); the patch count along a segment is ⌈L/(AxialLen·r)⌉.
+	AxialLen float64
+}
+
+func (p *TubeParams) defaults() {
+	if p.Order == 0 {
+		p.Order = 8
+	}
+	if p.NV == 0 {
+		p.NV = 4
+	}
+	if p.AxialLen == 0 {
+		p.AxialLen = 2.5
+	}
+}
+
+// Geometry is the surface realization of a network: root patches plus
+// per-root metadata and the terminal caps, ready for the forest/bie
+// pipeline. Each segment is a closed capsule (barrel + end caps), so the
+// union of patches is watertight per component; hemispherical junction caps
+// overlap the neighboring capsules, keeping the fluid region connected
+// through each junction (see DESIGN.md for the limitations of this
+// junction model).
+type Geometry struct {
+	Net   *Network
+	Roots []*patch.Patch
+	Meta  []RootMeta
+	Caps  []Cap
+
+	analyticVol float64
+}
+
+// BuildGeometry sweeps every segment into tube patches with RMF frames and
+// closes the ends: flat disks at terminals, hemispheres at junctions.
+func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	tp.defaults()
+	g := &Geometry{Net: n}
+	deg := n.Degree()
+	for si, seg := range n.Segs {
+		cu := n.Curve(si)
+		sw := newSweep(cu)
+		r := seg.Radius
+		L := cu.Length()
+		if L < 2*r && deg[seg.A] > 1 && deg[seg.B] > 1 {
+			return nil, fmt.Errorf("network: segment %d too short (L=%g) for its radius %g between junctions", si, L, r)
+		}
+		nu := int(math.Ceil(L / (tp.AxialLen * r)))
+		if nu < 1 {
+			nu = 1
+		}
+		g.analyticVol += math.Pi * r * r * L
+		// Barrel.
+		for a := 0; a < nu; a++ {
+			for b := 0; b < tp.NV; b++ {
+				t0 := float64(a) / float64(nu)
+				t1 := float64(a+1) / float64(nu)
+				p0 := 2 * math.Pi * float64(b) / float64(tp.NV)
+				p1 := 2 * math.Pi * float64(b+1) / float64(tp.NV)
+				g.addRoot(patch.FromFunc(tp.Order, func(u, v float64) [3]float64 {
+					t := t0 + (t1-t0)*(u+1)/2
+					ph := p0 + (p1-p0)*(v+1)/2
+					c := cu.Point(t)
+					_, n1, n2 := sw.Frame(t)
+					return [3]float64{
+						c[0] + r*(math.Cos(ph)*n1[0]+math.Sin(ph)*n2[0]),
+						c[1] + r*(math.Cos(ph)*n1[1]+math.Sin(ph)*n2[1]),
+						c[2] + r*(math.Cos(ph)*n1[2]+math.Sin(ph)*n2[2]),
+					}
+				}), RootMeta{Kind: RootWall, Seg: si, Node: -1})
+			}
+		}
+		// End caps.
+		for end := 0; end < 2; end++ {
+			t := float64(end) // 0 or 1
+			node := seg.A
+			if end == 1 {
+				node = seg.B
+			}
+			ctr := cu.Point(t)
+			tan, n1, n2 := sw.Frame(t)
+			aout := tan
+			if end == 0 {
+				aout = [3]float64{-tan[0], -tan[1], -tan[2]}
+			}
+			if deg[node] == 1 {
+				g.addTerminalCap(tp.Order, si, node, ctr, aout, n1, n2, r)
+			} else {
+				g.addJunctionCap(tp.Order, si, node, ctr, aout, n1, n2, r)
+				g.analyticVol += 2.0 / 3 * math.Pi * r * r * r
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Geometry) addRoot(p *patch.Patch, m RootMeta) {
+	g.Roots = append(g.Roots, p)
+	g.Meta = append(g.Meta, m)
+}
+
+// orientedRoot builds the patch from f and flips the (u, v) parameter order
+// if needed so that du×dv aligns with the reference outward direction ref
+// evaluated at the patch center.
+func (g *Geometry) orientedRoot(order int, f func(u, v float64) [3]float64, ref func(x [3]float64) [3]float64, m RootMeta) {
+	p := patch.FromFunc(order, f)
+	if patch.DotV(p.Normal(0, 0), ref(p.Eval(0, 0))) < 0 {
+		p = patch.FromFunc(order, func(u, v float64) [3]float64 { return f(v, u) })
+	}
+	g.addRoot(p, m)
+}
+
+// addTerminalCap closes a terminal end with one flat disk patch (the
+// square→disk "squircle" map, whose boundary lies exactly on the rim
+// circle) and records the Cap for boundary-condition synthesis.
+func (g *Geometry) addTerminalCap(order, seg, node int, ctr, aout, e1, e2 [3]float64, r float64) {
+	f := func(u, v float64) [3]float64 {
+		x := r * u * math.Sqrt(1-v*v/2)
+		y := r * v * math.Sqrt(1-u*u/2)
+		return [3]float64{
+			ctr[0] + x*e1[0] + y*e2[0],
+			ctr[1] + x*e1[1] + y*e2[1],
+			ctr[2] + x*e1[2] + y*e2[2],
+		}
+	}
+	g.orientedRoot(order, f, func([3]float64) [3]float64 { return aout },
+		RootMeta{Kind: RootTerminalCap, Seg: seg, Node: node})
+	g.Caps = append(g.Caps, Cap{
+		Node: node, Seg: seg, Center: ctr,
+		AxisIn: [3]float64{-aout[0], -aout[1], -aout[2]}, Radius: r,
+	})
+}
+
+// addJunctionCap closes a junction end with a cubed-sphere hemisphere
+// (1 pole face + 4 half side faces), rim-matched to the barrel end circle.
+func (g *Geometry) addJunctionCap(order, seg, node int, ctr, aout, e1, e2 [3]float64, r float64) {
+	world := func(x, y, z float64) [3]float64 {
+		nrm := math.Sqrt(x*x + y*y + z*z)
+		x, y, z = x/nrm, y/nrm, z/nrm
+		return [3]float64{
+			ctr[0] + r*(x*e1[0]+y*e2[0]+z*aout[0]),
+			ctr[1] + r*(x*e1[1]+y*e2[1]+z*aout[1]),
+			ctr[2] + r*(x*e1[2]+y*e2[2]+z*aout[2]),
+		}
+	}
+	ref := func(x [3]float64) [3]float64 {
+		return [3]float64{x[0] - ctr[0], x[1] - ctr[1], x[2] - ctr[2]}
+	}
+	meta := RootMeta{Kind: RootJunctionCap, Seg: seg, Node: node}
+	// Pole face: cube face z = 1.
+	g.orientedRoot(order, func(u, v float64) [3]float64 { return world(u, v, 1) }, ref, meta)
+	// Side half-faces: cube faces x=±1, y=±1 restricted to z ∈ [0, 1].
+	sides := [4]func(h, z float64) (float64, float64, float64){
+		func(h, z float64) (float64, float64, float64) { return 1, h, z },
+		func(h, z float64) (float64, float64, float64) { return -1, h, z },
+		func(h, z float64) (float64, float64, float64) { return h, 1, z },
+		func(h, z float64) (float64, float64, float64) { return h, -1, z },
+	}
+	for _, side := range sides {
+		side := side
+		g.orientedRoot(order, func(u, v float64) [3]float64 {
+			x, y, z := side(u, (v+1)/2)
+			return world(x, y, z)
+		}, ref, meta)
+	}
+}
+
+// AnalyticVolume returns the summed analytic capsule volume
+// Σ_s (πr²L + hemispherical junction ends); the divergence-theorem volume
+// of the built surface must match it (each capsule is a closed component).
+func (g *Geometry) AnalyticVolume() float64 { return g.analyticVol }
+
+// Surface refines the roots to the given level and discretizes with the
+// boundary-integral parameters, feeding the standard forest/bie pipeline.
+func (g *Geometry) Surface(level int, prm bie.Params) *bie.Surface {
+	return bie.NewSurface(forest.NewUniform(g.Roots, level), prm)
+}
+
+// Inflow synthesizes the velocity boundary condition g on the surface's
+// coarse nodes from a reduced-order flow solution: a parabolic (Poiseuille)
+// profile on every terminal cap whose flux matches the solved terminal
+// flow — pointing into the network at inlets, out at outlets — and no-slip
+// (zero) on walls and junction caps. By Kirchhoff conservation the net
+// flux over the union of all patches vanishes, but each individual capsule
+// carrying a terminal cap has nonzero net flux (its junction hemisphere is
+// no-slip, not an outflow), so the per-component zero-flux solvability
+// condition of the interior Stokes problem holds only approximately; the
+// double-layer N completion absorbs the consistent part and the residual
+// is part of the junction-model error discussed in DESIGN.md. s must have
+// been built from this geometry.
+func (g *Geometry) Inflow(s *bie.Surface, f *FlowSolution) []float64 {
+	out := make([]float64, 3*len(s.Pts))
+	capByNode := map[int]Cap{}
+	for _, c := range g.Caps {
+		capByNode[c.Node] = c
+	}
+	for pid := range s.F.Patches {
+		meta := g.Meta[s.F.RootOf[pid]]
+		if meta.Kind != RootTerminalCap {
+			continue
+		}
+		cp := capByNode[meta.Node]
+		qin := f.TerminalInflow(g.Net, meta.Node)
+		vmax := 2 * qin / (math.Pi * cp.Radius * cp.Radius)
+		for k := pid * s.NQ; k < (pid+1)*s.NQ; k++ {
+			x := s.Pts[k]
+			dx := [3]float64{x[0] - cp.Center[0], x[1] - cp.Center[1], x[2] - cp.Center[2]}
+			ax := patch.DotV(dx, cp.AxisIn)
+			rho2 := patch.DotV(dx, dx) - ax*ax
+			prof := 1 - rho2/(cp.Radius*cp.Radius)
+			if prof < 0 {
+				prof = 0
+			}
+			for d := 0; d < 3; d++ {
+				out[3*k+d] = vmax * prof * cp.AxisIn[d]
+			}
+		}
+	}
+	return out
+}

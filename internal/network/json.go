@@ -1,0 +1,104 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// jsonNetwork is the on-disk schema: a flat, editable description of the
+// graph. Boundary-condition kinds are spelled out ("pressure"/"flow") so
+// files stay readable.
+type jsonNetwork struct {
+	Nodes []jsonNode    `json:"nodes"`
+	Segs  []jsonSegment `json:"segments"`
+}
+
+type jsonNode struct {
+	Pos [3]float64 `json:"pos"`
+	BC  *jsonBC    `json:"bc,omitempty"`
+}
+
+type jsonBC struct {
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+}
+
+type jsonSegment struct {
+	A      int          `json:"a"`
+	B      int          `json:"b"`
+	Radius float64      `json:"radius"`
+	Ctrl   [][3]float64 `json:"ctrl,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Network.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	jn := jsonNetwork{}
+	for _, nd := range n.Nodes {
+		out := jsonNode{Pos: nd.Pos}
+		switch nd.BC.Kind {
+		case BCPressure:
+			out.BC = &jsonBC{Kind: "pressure", Value: nd.BC.Value}
+		case BCFlow:
+			out.BC = &jsonBC{Kind: "flow", Value: nd.BC.Value}
+		}
+		jn.Nodes = append(jn.Nodes, out)
+	}
+	for _, s := range n.Segs {
+		jn.Segs = append(jn.Segs, jsonSegment{A: s.A, B: s.B, Radius: s.Radius, Ctrl: s.Ctrl})
+	}
+	return json.MarshalIndent(jn, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Network.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var jn jsonNetwork
+	if err := json.Unmarshal(data, &jn); err != nil {
+		return err
+	}
+	n.Nodes = n.Nodes[:0]
+	n.Segs = n.Segs[:0]
+	for i, nd := range jn.Nodes {
+		out := Node{Pos: nd.Pos}
+		if nd.BC != nil {
+			switch nd.BC.Kind {
+			case "pressure":
+				out.BC = BC{Kind: BCPressure, Value: nd.BC.Value}
+			case "flow":
+				out.BC = BC{Kind: BCFlow, Value: nd.BC.Value}
+			default:
+				return fmt.Errorf("network: node %d: unknown bc kind %q", i, nd.BC.Kind)
+			}
+		}
+		n.Nodes = append(n.Nodes, out)
+	}
+	for _, s := range jn.Segs {
+		n.Segs = append(n.Segs, Segment{A: s.A, B: s.B, Radius: s.Radius, Ctrl: s.Ctrl})
+	}
+	return nil
+}
+
+// Save writes the network as JSON to path.
+func Save(n *Network, path string) error {
+	data, err := n.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a JSON network from path and validates it.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{}
+	if err := n.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

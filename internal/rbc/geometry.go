@@ -13,6 +13,7 @@ package rbc
 
 import (
 	"math"
+	"math/rand"
 
 	"rbcflow/internal/sht"
 )
@@ -88,6 +89,25 @@ func NewBiconcaveCell(p int, radius float64, center [3]float64, rot *[9]float64)
 		}
 	}
 	return c
+}
+
+// RandomRotation draws a uniform rotation matrix (row-major) from a random
+// unit quaternion — the cell-orientation sampler shared by the filling and
+// seeding algorithms.
+func RandomRotation(rng *rand.Rand) [9]float64 {
+	u1, u2, u3 := rng.Float64(), rng.Float64(), rng.Float64()
+	q := [4]float64{
+		math.Sqrt(1-u1) * math.Sin(2*math.Pi*u2),
+		math.Sqrt(1-u1) * math.Cos(2*math.Pi*u2),
+		math.Sqrt(u1) * math.Sin(2*math.Pi*u3),
+		math.Sqrt(u1) * math.Cos(2*math.Pi*u3),
+	}
+	w, x, y, z := q[3], q[0], q[1], q[2]
+	return [9]float64{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
+	}
 }
 
 // Copy deep-copies the cell.

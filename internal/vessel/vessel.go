@@ -178,7 +178,7 @@ func Fill(s *bie.Surface, prm FillParams) []*rbc.Cell {
 					continue
 				}
 				r := prm.Radius * (0.85 + 0.3*rng.Float64())
-				rot := randomRotation(rng)
+				rot := rbc.RandomRotation(rng)
 				cells = append(cells, rbc.NewBiconcaveCell(prm.SphOrder, r, ctr, &rot))
 			}
 		}
@@ -200,23 +200,6 @@ func insideWithMargin(s *bie.Surface, ctr [3]float64, margin float64) bool {
 		}
 	}
 	return true
-}
-
-func randomRotation(rng *rand.Rand) [9]float64 {
-	// Random rotation from a random unit quaternion.
-	u1, u2, u3 := rng.Float64(), rng.Float64(), rng.Float64()
-	q := [4]float64{
-		math.Sqrt(1-u1) * math.Sin(2*math.Pi*u2),
-		math.Sqrt(1-u1) * math.Cos(2*math.Pi*u2),
-		math.Sqrt(u1) * math.Sin(2*math.Pi*u3),
-		math.Sqrt(u1) * math.Cos(2*math.Pi*u3),
-	}
-	w, x, y, z := q[3], q[0], q[1], q[2]
-	return [9]float64{
-		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
-		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
-		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
-	}
 }
 
 // VolumeFraction returns total cell volume / vessel volume (§5.4).

@@ -90,6 +90,91 @@ func TestFillCellsDisjoint(t *testing.T) {
 	}
 }
 
+func TestTorusVolumeAnalyticFamily(t *testing.T) {
+	// Volume = 2π²Rr² across a family of radii, not just the default.
+	for _, rr := range [][2]float64{{3, 1}, {4, 0.75}, {2.5, 0.5}} {
+		R, r := rr[0], rr[1]
+		roots := TorusRoots(8, 6, 4, R, r)
+		s := bie.NewSurface(forest.NewUniform(roots, 0), bie.Params{QuadNodes: 7})
+		want := 2 * math.Pi * math.Pi * R * r * r
+		if got := Volume(s); math.Abs(got-want) > 0.02*want {
+			t.Fatalf("torus R=%v r=%v volume %v want %v", R, r, got, want)
+		}
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	s := torusSurface(0)
+	prm := FillParams{SphOrder: 4, Spacing: 1.2, Radius: 0.35, WallMargin: 0.15, MaxCells: 12, Seed: 9}
+	a := Fill(s, prm)
+	b := Fill(s, prm)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("fill not reproducible: %d vs %d cells", len(a), len(b))
+	}
+	for i := range a {
+		ca, cb := a[i].Centroid(), b[i].Centroid()
+		for d := 0; d < 3; d++ {
+			if ca[d] != cb[d] {
+				t.Fatalf("cell %d centroid differs between identical seeds: %v vs %v", i, ca, cb)
+			}
+		}
+		if a[i].Volume() != b[i].Volume() {
+			t.Fatalf("cell %d size jitter differs between identical seeds", i)
+		}
+	}
+	// A different seed must shuffle the jitter.
+	prm.Seed = 10
+	c := Fill(s, prm)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i].Volume() != c[i].Volume() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fills")
+	}
+}
+
+func TestFillRespectsWallMargin(t *testing.T) {
+	s := torusSurface(0)
+	prm := FillParams{SphOrder: 4, Spacing: 1.2, Radius: 0.35, WallMargin: 0.15, Seed: 3}
+	cells := Fill(s, prm)
+	if len(cells) == 0 {
+		t.Fatal("no cells placed")
+	}
+	probe := prm.Radius + prm.WallMargin
+	for i, c := range cells {
+		if !insideWithMargin(s, c.Centroid(), probe) {
+			t.Fatalf("cell %d violates the wall margin at %v", i, c.Centroid())
+		}
+	}
+}
+
+func TestFillMaxCellsCap(t *testing.T) {
+	s := torusSurface(0)
+	base := FillParams{SphOrder: 4, Spacing: 1.0, Radius: 0.3, WallMargin: 0.1, Seed: 4}
+	uncapped := Fill(s, base)
+	if len(uncapped) < 5 {
+		t.Fatalf("expected a well-populated torus, got %d cells", len(uncapped))
+	}
+	capped := base
+	capped.MaxCells = 5
+	cells := Fill(s, capped)
+	if len(cells) != 5 {
+		t.Fatalf("MaxCells=5 produced %d cells", len(cells))
+	}
+	// The cap truncates the same deterministic sequence.
+	for i := range cells {
+		if cells[i].Centroid() != uncapped[i].Centroid() {
+			t.Fatalf("cap changed placement order at cell %d", i)
+		}
+	}
+}
+
 func TestWallInflowTangential(t *testing.T) {
 	s := torusSurface(0)
 	g := WallInflow(s, 0, math.Pi/2, 1.0)

@@ -7,20 +7,21 @@
 //
 // The public API wraps the internal subsystems:
 //
-//	sim := rbcflow.NewShearSimulation(...)      // free-space flows
-//	sim := rbcflow.NewVesselSimulation(...)     // flows through a vessel
+//	surf := rbcflow.TorusVessel(...)            // single-channel vessels
+//	net := rbcflow.YBifurcation(...)            // branching vascular networks
+//	flow, _ := rbcflow.SolveNetworkFlow(net, mu)
 //	world := rbcflow.Run(ranks, machine, func(c *rbcflow.Comm) {
 //	    for i := 0; i < steps; i++ { sim.Step(c) }
 //	})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// See README.md for a quickstart and DESIGN.md for the system inventory.
 package rbcflow
 
 import (
 	"rbcflow/internal/bie"
 	"rbcflow/internal/core"
 	"rbcflow/internal/forest"
+	"rbcflow/internal/network"
 	"rbcflow/internal/par"
 	"rbcflow/internal/patch"
 	"rbcflow/internal/rbc"
@@ -55,6 +56,26 @@ type (
 	Forest = forest.Forest
 	// FillParams configures the RBC filling algorithm.
 	FillParams = vessel.FillParams
+
+	// Network is a branching vascular graph (junction nodes + radius-tagged
+	// centerline segments).
+	Network = network.Network
+	// NetworkFlow is the reduced-order Poiseuille/Kirchhoff solution.
+	NetworkFlow = network.FlowSolution
+	// NetworkGeometry is the swept-tube surface realization of a network.
+	NetworkGeometry = network.Geometry
+	// TubeParams configures the swept-tube generator.
+	TubeParams = network.TubeParams
+	// YParams configures the Y-bifurcation builder.
+	YParams = network.YParams
+	// TreeParams configures the symmetric binary tree builder.
+	TreeParams = network.TreeParams
+	// HoneycombParams configures the honeycomb grid builder.
+	HoneycombParams = network.HoneycombParams
+	// HaematocritParams configures the plasma-skimming split rule.
+	HaematocritParams = network.HaematocritParams
+	// SeedParams configures haematocrit-driven cell seeding.
+	SeedParams = network.SeedParams
 )
 
 // BIE operator modes.
@@ -124,3 +145,58 @@ func WallInflow(s *Surface, th0, th1, speed float64) []float64 {
 
 // DefaultBIEParams returns the calibrated boundary-solver parameters.
 func DefaultBIEParams() BIEParams { return bie.DefaultParams() }
+
+// YBifurcation builds the canonical diverging bifurcation network.
+func YBifurcation(p YParams) *Network { return network.YBifurcation(p) }
+
+// BinaryTreeNetwork builds a planar symmetric binary tree network.
+func BinaryTreeNetwork(p TreeParams) *Network { return network.BinaryTree(p) }
+
+// HoneycombNetwork builds a honeycomb capillary grid with inlet/outlet
+// stubs; returns the network and the inlet and outlet terminal indices.
+func HoneycombNetwork(p HoneycombParams) (*Network, int, int) { return network.Honeycomb(p) }
+
+// LoadNetwork reads and validates a JSON network description.
+func LoadNetwork(path string) (*Network, error) { return network.Load(path) }
+
+// SaveNetwork writes a network as JSON.
+func SaveNetwork(n *Network, path string) error { return network.Save(n, path) }
+
+// SolveNetworkFlow runs the reduced-order flow model: Poiseuille impedance
+// per segment, Kirchhoff conservation at junctions, pressure/flow boundary
+// conditions at terminals.
+func SolveNetworkFlow(n *Network, mu float64) (*NetworkFlow, error) {
+	return network.SolveFlow(n, mu)
+}
+
+// NetworkVessel sweeps the network into a watertight patch surface
+// (rotation-minimizing frames along each segment, hemispherical junction
+// caps, flat terminal caps) refined to the given level, feeding the standard
+// forest/bie pipeline. Returns the surface and the geometry (needed for the
+// boundary condition).
+func NetworkVessel(n *Network, level int, tube TubeParams, prm BIEParams) (*Surface, *NetworkGeometry, error) {
+	g, err := network.BuildGeometry(n, tube)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.Surface(level, prm), g, nil
+}
+
+// NetworkInflow synthesizes the velocity boundary condition on a network
+// surface from a reduced-order flow solution: parabolic profiles on the
+// inlet/outlet caps with fluxes matching the solved terminal flows, no-slip
+// elsewhere.
+func NetworkInflow(s *Surface, g *NetworkGeometry, f *NetworkFlow) []float64 {
+	return g.Inflow(s, f)
+}
+
+// NetworkHaematocrit propagates haematocrit from the inflow terminals with
+// a plasma-skimming split at bifurcations; returns per-segment values.
+func NetworkHaematocrit(n *Network, f *NetworkFlow, prm HaematocritParams) []float64 {
+	return network.SplitHaematocrit(n, f, prm)
+}
+
+// SeedNetworkCells fills each segment with cells at its target haematocrit.
+func SeedNetworkCells(n *Network, H []float64, prm SeedParams) []*Cell {
+	return network.SeedCells(n, H, prm)
+}

@@ -71,6 +71,43 @@ func TestPublicAPICapsuleAndTrefoil(t *testing.T) {
 	}
 }
 
+func TestPublicAPINetworkPipeline(t *testing.T) {
+	net := rbcflow.YBifurcation(rbcflow.YParams{
+		ParentRadius: 1, ParentLen: 5, ChildLen: 4, HalfAngle: math.Pi / 5,
+	})
+	net.SetFlow(0, 2)
+	net.SetPressure(2, 0)
+	net.SetPressure(3, 0)
+	flow, err := rbcflow.SolveNetworkFlow(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := flow.MaxImbalance(net); imb > 1e-10 {
+		t.Fatalf("junction imbalance %g", imb)
+	}
+	H := rbcflow.NetworkHaematocrit(net, flow, rbcflow.HaematocritParams{Inlet: 0.12, Gamma: 1.4})
+	prm := rbcflow.DefaultBIEParams()
+	prm.QuadNodes = 5
+	prm.ExtrapOrder = 3
+	surf, geom, err := rbcflow.NetworkVessel(net, 0, rbcflow.TubeParams{Order: 6, AxialLen: 3.5}, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, want := rbcflow.VesselVolume(surf), geom.AnalyticVolume(); math.Abs(v-want) > 0.05*want {
+		t.Fatalf("network volume %v want %v", v, want)
+	}
+	g := rbcflow.NetworkInflow(surf, geom, flow)
+	if len(g) != 3*len(surf.Pts) {
+		t.Fatalf("network BC length %d", len(g))
+	}
+	cells := rbcflow.SeedNetworkCells(net, H, rbcflow.SeedParams{
+		SphOrder: 4, CellRadius: 0.3, WallMargin: 0.12, MaxCells: 4, Seed: 11,
+	})
+	if len(cells) == 0 {
+		t.Fatal("no cells seeded")
+	}
+}
+
 func TestMachineModels(t *testing.T) {
 	if rbcflow.SKX().ComputeScale >= rbcflow.KNL().ComputeScale {
 		t.Fatal("KNL cores must be slower than SKX cores")
