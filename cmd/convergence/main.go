@@ -3,6 +3,9 @@
 //	convergence -exp fig9    // boundary-solver convergence (Fig. 9)
 //	convergence -exp fig11   // collision-aware time stepping (Fig. 11)
 //	convergence -exp ablation // local vs global singular quadrature (§5.2)
+//
+// Geometry and cell populations come from the scenario registry (the
+// "cubesphere" and "shear" entries) via internal/experiments.
 package main
 
 import (

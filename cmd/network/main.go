@@ -1,22 +1,23 @@
 // Command network simulates red blood cells flowing through a branching
-// vascular network: it builds a parametric network (or loads one from
-// JSON), solves the reduced-order Poiseuille/Kirchhoff flow model, splits
+// vascular network, built through the scenario registry (network-y,
+// network-tree, network-honeycomb, or network-json for a JSON file): the
+// registry solves the reduced-order Poiseuille/Kirchhoff flow model, splits
 // haematocrit at the bifurcations by plasma skimming, seeds cells per
-// segment, and steps the full boundary-integral simulation with the solved
-// inlet/outlet profiles as boundary conditions.
+// segment, and synthesizes the inlet/outlet boundary profiles; this driver
+// prints the flow table and steps the full boundary-integral simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"strings"
 
 	"rbcflow"
 )
 
 func main() {
-	scenario := flag.String("scenario", "y", "network scenario: y | tree | honeycomb")
+	scn := flag.String("scenario", "y", "network scenario: y | tree | honeycomb (or any registered network-* name)")
 	load := flag.String("load", "", "load a JSON network instead of a builder")
 	save := flag.String("save", "", "save the built network as JSON and exit")
 	depth := flag.Int("depth", 2, "tree depth (tree scenario)")
@@ -31,14 +32,30 @@ func main() {
 	gamma := flag.Float64("gamma", 1.4, "plasma-skimming exponent")
 	inflow := flag.Float64("inflow", 2.0, "inlet volumetric flow")
 	simulate := flag.Bool("sim", true, "run the boundary-integral simulation")
+	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
 	flag.Parse()
 
-	net, err := buildNetwork(*scenario, *load, *depth, *rows, *cols, *inflow)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	name := *scn
+	if !strings.HasPrefix(name, "network-") {
+		name = "network-" + name
 	}
+	if *load != "" {
+		name = "network-json"
+	}
+	params := rbcflow.ScenarioParams{
+		SphOrder: *order, Level: *level, MaxCells: *maxCells,
+		Hct: *hct, Gamma: *gamma, Inflow: *inflow,
+		Depth: *depth, Rows: *rows, Cols: *cols,
+		NetworkPath: *load,
+	}
+
 	if *save != "" {
+		// Graph-only path: no flow solve or surface build for an export.
+		net, err := rbcflow.ScenarioNetworkGraph(name, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := rbcflow.SaveNetwork(net, *save); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -47,12 +64,13 @@ func main() {
 		return
 	}
 
-	flow, err := rbcflow.SolveNetworkFlow(net, 1)
+	b, err := rbcflow.BuildScenario(name, params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	H := rbcflow.NetworkHaematocrit(net, flow, rbcflow.HaematocritParams{Inlet: *hct, Gamma: *gamma})
+	net, flow, H := b.Geom.Net, b.Geom.Flow, b.Haematocrit
+
 	fmt.Printf("network: %d nodes, %d segments; max junction imbalance %.2e\n",
 		len(net.Nodes), len(net.Segs), flow.MaxImbalance(net))
 	fmt.Println("  seg   A ->  B   radius   length     flow  haematocrit")
@@ -64,81 +82,25 @@ func main() {
 	if !*simulate {
 		return
 	}
-	prm := rbcflow.DefaultBIEParams()
-	prm.QuadNodes = 5
-	prm.ExtrapOrder = 3
-	prm.Eta = 1
-	prm.NearFactor = 0.6
-	prm.CheckR, prm.CheckDr = 0.15, 0.15
-	surf, geom, err := rbcflow.NetworkVessel(net, *level, rbcflow.TubeParams{Order: 6, AxialLen: 3.5}, prm)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	g := rbcflow.NetworkInflow(surf, geom, flow)
-	cells := rbcflow.SeedNetworkCells(net, H, rbcflow.SeedParams{
-		SphOrder: *order, CellRadius: 0.3, WallMargin: 0.12, MaxCells: *maxCells, Seed: 11,
-	})
 	fmt.Printf("surface: %d patches (volume %.3f, analytic %.3f); %d cells seeded\n",
-		surf.F.NumPatches(), rbcflow.VesselVolume(surf), geom.AnalyticVolume(), len(cells))
-	if len(cells) == 0 {
+		b.Surf.F.NumPatches(), rbcflow.VesselVolume(b.Surf), b.Geom.NetGeom.AnalyticVolume(), len(b.Cells))
+	if len(b.Cells) == 0 {
 		fmt.Println("no cells fit this configuration; increase -hct or network size")
 		return
 	}
 
-	cfg := rbcflow.Config{
-		SphOrder: *order, Mu: 1, KappaB: 0.05, Dt: 0.02, MinSep: 0.06,
-		CollisionOn: true,
-		BIEParams:   prm,
-		FMM:         rbcflow.FMMConfig{Order: 4, LeafSize: 64, DirectBelow: 1 << 24},
-		GMRESMax:    25, GMRESTol: 1e-3,
-	}
-	world := rbcflow.Run(*ranks, rbcflow.SKX(), func(c *rbcflow.Comm) {
-		sim := rbcflow.NewSimulation(c, cfg, cells, surf, g)
-		for s := 1; s <= *steps; s++ {
-			st := sim.Step(c)
-			if c.Rank() == 0 {
-				fmt.Printf("step %d: GMRES %d, contacts %d\n", s, st.GMRESIters, st.Contacts)
-			}
-		}
+	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
+		Ranks: *ranks, Steps: *steps, OutDir: *out,
 	})
-	fmt.Printf("modeled wall time %.3fs; breakdown:\n", world.VirtualTime())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, row := range outcome.Rows {
+		fmt.Printf("step %d: GMRES %d, contacts %d\n", row.Step, row.GMRES, row.Contacts)
+	}
+	fmt.Printf("modeled wall time %.3fs; breakdown:\n", outcome.Ledger.VirtualTime)
 	for _, k := range []string{"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"} {
-		fmt.Printf("  %-10s %8.3fs\n", k, world.TimeByLabel()[k])
+		fmt.Printf("  %-10s %8.3fs\n", k, outcome.Ledger.TimeByLabel[k])
 	}
-}
-
-func buildNetwork(scenario, load string, depth, rows, cols int, inflow float64) (*rbcflow.Network, error) {
-	if load != "" {
-		return rbcflow.LoadNetwork(load)
-	}
-	switch scenario {
-	case "y":
-		net := rbcflow.YBifurcation(rbcflow.YParams{
-			ParentRadius: 1, ChildRadius: 0.75, ParentLen: 5, ChildLen: 4, HalfAngle: math.Pi / 5,
-		})
-		net.SetFlow(0, inflow)
-		net.SetPressure(2, 0)
-		net.SetPressure(3, 0)
-		return net, nil
-	case "tree":
-		net := rbcflow.BinaryTreeNetwork(rbcflow.TreeParams{
-			Depth: depth, RootRadius: 1, RootLen: 5,
-		})
-		net.SetFlow(0, inflow)
-		for _, term := range net.Terminals() {
-			if term != 0 {
-				net.SetPressure(term, 0)
-			}
-		}
-		return net, nil
-	case "honeycomb":
-		net, in, out := rbcflow.HoneycombNetwork(rbcflow.HoneycombParams{
-			Rows: rows, Cols: cols, Radius: 0.8, Edge: 4,
-		})
-		net.SetFlow(in, inflow)
-		net.SetPressure(out, 0)
-		return net, nil
-	}
-	return nil, fmt.Errorf("unknown scenario %q (want y, tree or honeycomb)", scenario)
 }

@@ -1,54 +1,71 @@
-// Command rbcflow runs a configurable cell-flow simulation through a torus
-// vessel and prints per-step diagnostics — the general CLI driver.
+// Command rbcflow runs one named scenario from the registry — torus by
+// default — with per-step diagnostics, optional checkpointing, and optional
+// VTK/CSV output. It is the single-run counterpart of cmd/campaign.
+//
+//	rbcflow -list
+//	rbcflow -scenario torus -cells 8 -steps 3
+//	rbcflow -scenario capsule -out out/capsule -checkpoint-every 2
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
+	"os"
 
 	"rbcflow"
 )
 
 func main() {
+	name := flag.String("scenario", "torus", "registered scenario name")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
 	ranks := flag.Int("ranks", 2, "number of ranks")
 	steps := flag.Int("steps", 3, "time steps")
 	cells := flag.Int("cells", 8, "maximum number of cells")
 	level := flag.Int("level", 0, "vessel refinement level")
 	order := flag.Int("order", 4, "cell spherical-harmonic order")
+	hct := flag.Float64("hct", 0, "inlet haematocrit (network scenarios; 0 = default)")
+	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every k steps (needs -out)")
+	noResume := flag.Bool("no-resume", false, "ignore an existing checkpoint")
 	flag.Parse()
 
-	prm := rbcflow.DefaultBIEParams()
-	prm.QuadNodes = 7
-	prm.ExtrapOrder = 4
-	prm.Eta = 1
-	prm.NearFactor = 0.8
-	surf := rbcflow.TorusVessel(*level, 3, 1, prm)
-	cellList := rbcflow.Fill(surf, rbcflow.FillParams{
-		SphOrder: *order, Spacing: 1.3, Radius: 0.35, WallMargin: 0.15,
-		MaxCells: *cells, Seed: 1,
-	})
-	g := rbcflow.WallInflow(surf, 0, math.Pi/2, 2.0)
-	fmt.Printf("torus vessel: %d patches, %d cells, volume fraction %.1f%%\n",
-		surf.F.NumPatches(), len(cellList), 100*rbcflow.VolumeFraction(surf, cellList))
-
-	cfg := rbcflow.Config{
-		SphOrder: *order, Mu: 1, KappaB: 0.05, Dt: 0.02, MinSep: 0.06,
-		CollisionOn: true,
-		FMM:         rbcflow.FMMConfig{Order: 3, LeafSize: 64, DirectBelow: 1 << 22},
-		GMRESMax:    30, GMRESTol: 1e-3,
-	}
-	world := rbcflow.Run(*ranks, rbcflow.SKX(), func(c *rbcflow.Comm) {
-		sim := rbcflow.NewSimulation(c, cfg, cellList, surf, g)
-		for s := 1; s <= *steps; s++ {
-			st := sim.Step(c)
-			if c.Rank() == 0 {
-				fmt.Printf("step %d: GMRES %d, contacts %d\n", s, st.GMRESIters, st.Contacts)
-			}
+	if *list {
+		for _, s := range rbcflow.Scenarios() {
+			fmt.Println(" ", s)
 		}
+		return
+	}
+
+	b, err := rbcflow.BuildScenario(*name, rbcflow.ScenarioParams{
+		SphOrder: *order, Level: *level, MaxCells: *cells, Hct: *hct,
 	})
-	fmt.Printf("modeled wall time %.3fs; breakdown:\n", world.VirtualTime())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if b.Surf != nil {
+		fmt.Printf("%s: %d patches, %d cells, volume fraction %.1f%%\n",
+			*name, b.Surf.F.NumPatches(), len(b.Cells), 100*rbcflow.VolumeFraction(b.Surf, b.Cells))
+	} else {
+		fmt.Printf("%s: free space, %d cells\n", *name, len(b.Cells))
+	}
+
+	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
+		Ranks: *ranks, Steps: *steps,
+		CheckpointEvery: *ckptEvery, OutDir: *out, NoResume: *noResume,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, row := range outcome.Rows {
+		fmt.Printf("step %d: GMRES %d, contacts %d\n", row.Step, row.GMRES, row.Contacts)
+	}
+	fmt.Printf("modeled wall time %.3fs; breakdown:\n", outcome.Ledger.VirtualTime)
 	for _, k := range []string{"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"} {
-		fmt.Printf("  %-10s %8.3fs\n", k, world.TimeByLabel()[k])
+		fmt.Printf("  %-10s %8.3fs\n", k, outcome.Ledger.TimeByLabel[k])
+	}
+	if len(outcome.Outputs) > 0 {
+		fmt.Printf("wrote %d files under %s\n", len(outcome.Outputs), *out)
 	}
 }

@@ -5,7 +5,9 @@
 //	scaling -mode weak  -machine knl   // Fig. 6 table
 //
 // Rank counts, problem sizes and step counts are flags; parallel efficiency
-// is computed on the virtual-time ledger (see DESIGN.md).
+// is computed on the virtual-time ledger (see DESIGN.md). The torus workload
+// comes from the scenario registry (via internal/experiments), so the setup
+// is shared with cmd/campaign and cmd/rbcflow.
 package main
 
 import (

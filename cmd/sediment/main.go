@@ -1,5 +1,7 @@
 // Command sediment regenerates the high-volume-fraction sedimentation study
-// of paper Fig. 7 at configurable scale.
+// of paper Fig. 7 at configurable scale. The capsule geometry and cell
+// population come from the "capsule" entry of the scenario registry (via
+// internal/experiments), so the setup is shared with cmd/campaign.
 package main
 
 import (

@@ -181,3 +181,105 @@ func TestRecycleKeepsCellShape(t *testing.T) {
 		}
 	})
 }
+
+func TestOnStepHookAndStepCount(t *testing.T) {
+	var hookSteps []int
+	cfg := shearConfig()
+	cfg.OnStep = func(c *par.Comm, s *Simulation, step int, st StepStats) {
+		// Hooks may call collectives: every rank participates.
+		v := s.TotalCellVolume(c)
+		if c.Rank() == 0 {
+			if v <= 0 {
+				t.Errorf("hook saw nonpositive volume %v", v)
+			}
+			hookSteps = append(hookSteps, step)
+		}
+	}
+	par.Run(2, par.SKX(), func(c *par.Comm) {
+		cells := []*rbc.Cell{
+			rbc.NewSphereCell(4, 0.8, [3]float64{-1.5, 0, 0.2}),
+			rbc.NewSphereCell(4, 0.8, [3]float64{1.5, 0, -0.2}),
+		}
+		sim := New(c, cfg, cells, nil, nil)
+		sim.StepCount = 10 // as after a checkpoint restore
+		for i := 0; i < 3; i++ {
+			sim.Step(c)
+		}
+		if sim.StepCount != 13 {
+			t.Errorf("StepCount %d want 13", sim.StepCount)
+		}
+	})
+	want := []int{11, 12, 13}
+	if len(hookSteps) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(hookSteps), len(want))
+	}
+	for i := range want {
+		if hookSteps[i] != want[i] {
+			t.Fatalf("hook steps %v want %v", hookSteps, want)
+		}
+	}
+}
+
+func TestExportImportStateRoundTrip(t *testing.T) {
+	// ExportCells must return the full global list, identical on every
+	// rank count, and a sim rebuilt from exported state must continue
+	// exactly like the original.
+	mkCells := func() []*rbc.Cell {
+		return []*rbc.Cell{
+			rbc.NewSphereCell(4, 0.8, [3]float64{-1.5, 0, 0.2}),
+			rbc.NewSphereCell(4, 0.8, [3]float64{1.5, 0, -0.2}),
+			rbc.NewSphereCell(4, 0.8, [3]float64{0, 1.5, 0}),
+		}
+	}
+	cfg := shearConfig()
+	cfg.CollisionOn = false
+
+	// Reference: 2 uninterrupted steps on 2 ranks.
+	var ref [][3]float64
+	par.Run(2, par.SKX(), func(c *par.Comm) {
+		sim := New(c, cfg, mkCells(), nil, nil)
+		sim.Step(c)
+		sim.Step(c)
+		all := par.Allgatherv(c, sim.Centroids())
+		if c.Rank() == 0 {
+			for _, part := range all {
+				ref = append(ref, part...)
+			}
+		}
+	})
+
+	// Interrupted: 1 step, export on every rank, rebuild, 1 more step.
+	var got [][3]float64
+	par.Run(2, par.SKX(), func(c *par.Comm) {
+		sim := New(c, cfg, mkCells(), nil, nil)
+		sim.Step(c)
+		exported := sim.ExportCells(c)
+		if len(exported) != 3 {
+			t.Errorf("rank %d: exported %d cells, want 3", c.Rank(), len(exported))
+		}
+		if phi := sim.ExportPhi(c); phi != nil {
+			t.Errorf("free-space sim exported phi: %v", phi)
+		}
+		sim2 := New(c, cfg, exported, nil, nil)
+		sim2.RestorePhi(c, nil) // no-op without a surface
+		sim2.Step(c)
+		all := par.Allgatherv(c, sim2.Centroids())
+		if c.Rank() == 0 {
+			for _, part := range all {
+				got = append(got, part...)
+			}
+		}
+	})
+
+	if len(ref) != len(got) {
+		t.Fatalf("cell counts differ: %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		for d := 0; d < 3; d++ {
+			if ref[i][d] != got[i][d] {
+				t.Fatalf("cell %d dim %d: %.17g != %.17g (export/import not bit-identical)",
+					i, d, ref[i][d], got[i][d])
+			}
+		}
+	}
+}

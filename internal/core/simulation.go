@@ -38,6 +38,11 @@ type Config struct {
 	GMRESTol    float64 // boundary-solve tolerance
 	FilterEvery int     // apply the spectral filter every k steps (0 = off)
 	CollisionOn bool
+	// OnStep, if non-nil, is an observable hook invoked by every rank at the
+	// end of each Step with the completed step's 1-based counter (collective
+	// position: hooks may call collectives, e.g. to gather centroids, but
+	// must not mutate simulation state).
+	OnStep func(c *par.Comm, s *Simulation, step int, st StepStats)
 }
 
 // Defaults fills zero fields with sensible values.
@@ -86,6 +91,10 @@ type Simulation struct {
 
 	// Stats of the most recent step.
 	LastStats StepStats
+	// StepCount is the number of Steps taken. A simulation restored from a
+	// checkpoint sets it to the checkpoint's step so OnStep numbering (and
+	// FilterEvery cadence) continues seamlessly.
+	StepCount int
 }
 
 // StepStats summarizes one step.
@@ -268,6 +277,10 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		}
 	}
 	s.LastStats = stats
+	s.StepCount++
+	if cfg.OnStep != nil {
+		cfg.OnStep(c, s, s.StepCount, stats)
+	}
 	return stats
 }
 
@@ -387,6 +400,53 @@ func ClosestOnly(n int) []forest.Closest {
 		out[i].PatchID = -1
 	}
 	return out
+}
+
+// ExportCells gathers the full, globally-ordered cell list onto every rank
+// (collective). The returned cells are fresh copies; together with ExportPhi
+// they form the complete mutable state of a run, so a simulation rebuilt
+// from them via New + RestorePhi continues bit-identically.
+func (s *Simulation) ExportCells(c *par.Comm) []*rbc.Cell {
+	npts := rbc.NewCell(s.Cfg.SphOrder).Grid.NumPoints()
+	local := make([]float64, 0, len(s.Cells)*3*npts)
+	for _, cell := range s.Cells {
+		for d := 0; d < 3; d++ {
+			local = append(local, cell.X[d]...)
+		}
+	}
+	all, _ := par.AllgathervFlat(c, local)
+	ncells := len(all) / (3 * npts)
+	out := make([]*rbc.Cell, ncells)
+	for i := 0; i < ncells; i++ {
+		cell := rbc.NewCell(s.Cfg.SphOrder)
+		for d := 0; d < 3; d++ {
+			copy(cell.X[d], all[(i*3+d)*npts:(i*3+d+1)*npts])
+		}
+		out[i] = cell
+	}
+	return out
+}
+
+// ExportPhi gathers the globally-ordered boundary density warm start
+// (collective); nil when the simulation has no vessel surface. Restoring it
+// with RestorePhi makes the first GMRES solve after a restart start from the
+// same iterate as an uninterrupted run.
+func (s *Simulation) ExportPhi(c *par.Comm) []float64 {
+	if s.Surf == nil {
+		return nil
+	}
+	all, _ := par.AllgathervFlat(c, s.phi)
+	return all
+}
+
+// RestorePhi scatters a globally-ordered density (from ExportPhi) back into
+// this rank's owned block.
+func (s *Simulation) RestorePhi(c *par.Comm, phi []float64) {
+	if s.Surf == nil || phi == nil {
+		return
+	}
+	plo, phiHi := s.Surf.F.OwnerRange(c.Size(), c.Rank())
+	copy(s.phi, phi[plo*s.Surf.NQ*3:phiHi*s.Surf.NQ*3])
 }
 
 // RecycleParams configures inlet/outlet cell recycling (paper §5.1): cells

@@ -12,11 +12,10 @@ import (
 
 	"rbcflow/internal/bie"
 	"rbcflow/internal/core"
-	"rbcflow/internal/forest"
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/par"
-	"rbcflow/internal/patch"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/scenario"
 	"rbcflow/internal/vessel"
 )
 
@@ -32,28 +31,17 @@ type ScalingResult struct {
 	Contacts    int
 }
 
-// scalingCase builds a torus-channel system of the given refinement level
-// and cell count and runs `steps` coupled time steps on p ranks.
+// scalingCase builds the torus-channel scenario at the given refinement
+// level and cell count and runs `steps` coupled time steps on p ranks.
 func scalingCase(p int, machine par.Machine, level, maxCells, steps int) ScalingResult {
-	prm := bie.Params{QuadNodes: 7, Eta: 1, ExtrapOrder: 4, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.8}
-	f := forest.NewUniform(vessel.TorusRoots(8, 6, 4, 3, 1), level)
-	surf := bie.NewSurface(f, prm)
-	spacing := 1.3 / math.Cbrt(math.Max(1, float64(maxCells)/8))
-	cells := vessel.Fill(surf, vessel.FillParams{
-		SphOrder: 4, Spacing: spacing, Radius: spacing * 0.27,
-		WallMargin: 0.12, MaxCells: maxCells, Seed: 3,
-	})
-	g := vessel.WallInflow(surf, 0, math.Pi/2, 2.0)
-	cfg := core.Config{
-		SphOrder: 4, Mu: 1, KappaB: 0.05, Dt: 0.02, MinSep: spacing * 0.08,
-		CollisionOn: true,
-		FMM:         bie.FMMConfig{Order: 3, LeafSize: 64, DirectBelow: 1 << 22},
-		GMRESMax:    12, GMRESTol: 1e-3,
+	b, err := scenario.Build("torus", scenario.Params{Level: level, MaxCells: maxCells, Seed: 3})
+	if err != nil {
+		panic(err)
 	}
-	res := ScalingResult{Cores: p, NumCells: len(cells), NumPatches: surf.F.NumPatches()}
-	res.VolFraction = vessel.VolumeFraction(surf, cells)
+	res := ScalingResult{Cores: p, NumCells: len(b.Cells), NumPatches: b.Surf.F.NumPatches()}
+	res.VolFraction = vessel.VolumeFraction(b.Surf, b.Cells)
 	world := par.Run(p, machine, func(c *par.Comm) {
-		sim := core.New(c, cfg, cells, surf, g)
+		sim := core.New(c, b.Config, b.Cells, b.Surf, b.G)
 		for s := 0; s < steps; s++ {
 			st := sim.Step(c)
 			res.Contacts += st.Contacts
@@ -139,8 +127,12 @@ func BoundaryConvergence(w io.Writer, levels []int) []Fig9Row {
 	}
 	var rows []Fig9Row
 	for _, level := range levels {
-		f := forest.NewUniform(cubeSphereRoots(8, 1), level)
-		surf := bie.NewSurface(f, bie.DefaultParams())
+		cb, err := scenario.Build("cubesphere", scenario.Params{Level: level})
+		if err != nil {
+			panic(err)
+		}
+		surf := cb.Surf
+		f := surf.F
 		row := Fig9Row{Level: level, PatchSize: surf.L[0]}
 		par.Run(1, par.SKX(), func(c *par.Comm) {
 			sv := bie.NewSolver(c, surf, bie.ModeLocal, bie.FMMConfig{DirectBelow: 1 << 40})
@@ -174,24 +166,6 @@ func BoundaryConvergence(w io.Writer, levels []int) []Fig9Row {
 	return rows
 }
 
-func cubeSphereRoots(q int, r float64) []*patch.Patch {
-	mk := func(fix int, sign float64) *patch.Patch {
-		return patch.FromFunc(q, func(u, v float64) [3]float64 {
-			var p [3]float64
-			p[fix] = sign
-			p[(fix+1)%3] = u * sign
-			p[(fix+2)%3] = v
-			n := patch.Norm(p)
-			return [3]float64{r * p[0] / n, r * p[1] / n, r * p[2] / n}
-		})
-	}
-	var roots []*patch.Patch
-	for fix := 0; fix < 3; fix++ {
-		roots = append(roots, mk(fix, 1), mk(fix, -1))
-	}
-	return roots
-}
-
 // Fig11Row is one point of the time-step convergence study.
 type Fig11Row struct {
 	Steps       int
@@ -205,19 +179,13 @@ func ShearConvergence(w io.Writer, order int, T float64, stepCounts []int) []Fig
 	fmt.Fprintf(w, "Fig. 11 — time-stepping convergence (shear, spherical harmonic order %d)\n", order)
 	fmt.Fprintf(w, "%8s %10s %14s\n", "steps", "dt", "centroid err")
 	run := func(nsteps int) [2][3]float64 {
-		cfg := core.Config{
-			SphOrder: order, Mu: 1, KappaB: 0.05, Dt: T / float64(nsteps), MinSep: 0.04,
-			Background:  func(x [3]float64) [3]float64 { return [3]float64{x[2], 0, 0} },
-			CollisionOn: true,
-			FMM:         bie.FMMConfig{DirectBelow: 1 << 40},
-		}
-		cells := []*rbc.Cell{
-			rbc.NewBiconcaveCell(order, 1, [3]float64{-1.5, 0, 0.25}, nil),
-			rbc.NewBiconcaveCell(order, 1, [3]float64{1.5, 0, -0.25}, nil),
+		b, err := scenario.Build("shear", scenario.Params{SphOrder: order, Dt: T / float64(nsteps)})
+		if err != nil {
+			panic(err)
 		}
 		var cen [2][3]float64
 		par.Run(1, par.SKX(), func(c *par.Comm) {
-			sim := core.New(c, cfg, cells, nil, nil)
+			sim := core.New(c, b.Config, b.Cells, nil, nil)
 			for s := 0; s < nsteps; s++ {
 				sim.Step(c)
 			}
@@ -255,15 +223,13 @@ type SedimentationResult struct {
 // Sedimentation reproduces Fig. 7 (scaled): cells settle in a capsule; the
 // lower-half volume fraction rises as they pack.
 func Sedimentation(w io.Writer, maxCells, steps int) SedimentationResult {
-	prm := bie.Params{QuadNodes: 7, Eta: 1, ExtrapOrder: 4, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.8}
-	f := forest.NewUniform(vessel.CapsuleRoots(8, 2.2, [3]float64{1, 1, 1.3}), 0)
-	surf := bie.NewSurface(f, prm)
-	cells := vessel.Fill(surf, vessel.FillParams{
-		SphOrder: 4, Spacing: 0.95, Radius: 0.42, WallMargin: 0.1, MaxCells: maxCells, Seed: 7,
-	})
-	res := SedimentationResult{NumCells: len(cells)}
-	res.VolFrac0 = vessel.VolumeFraction(surf, cells)
-	half := vessel.Volume(surf) / 2
+	b, err := scenario.Build("capsule", scenario.Params{MaxCells: maxCells, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	res := SedimentationResult{NumCells: len(b.Cells)}
+	res.VolFrac0 = vessel.VolumeFraction(b.Surf, b.Cells)
+	half := vessel.Volume(b.Surf) / 2
 	lower := func(cs []*rbc.Cell) float64 {
 		var v float64
 		for _, c := range cs {
@@ -273,16 +239,9 @@ func Sedimentation(w io.Writer, maxCells, steps int) SedimentationResult {
 		}
 		return v / half
 	}
-	res.LowerVolFrac0 = lower(cells)
-	cfg := core.Config{
-		SphOrder: 4, Mu: 1, KappaB: 0.05, Dt: 0.03, MinSep: 0.06,
-		Gravity:     [3]float64{0, 0, -1.5},
-		CollisionOn: true,
-		FMM:         bie.FMMConfig{Order: 3, LeafSize: 64, DirectBelow: 1 << 22},
-		GMRESMax:    10, GMRESTol: 1e-3,
-	}
+	res.LowerVolFrac0 = lower(b.Cells)
 	par.Run(1, par.SKX(), func(c *par.Comm) {
-		sim := core.New(c, cfg, cells, surf, nil)
+		sim := core.New(c, b.Config, b.Cells, b.Surf, nil)
 		for _, cell := range sim.Cells {
 			res.MeanZ0 += cell.Centroid()[2]
 		}
@@ -308,8 +267,11 @@ func Sedimentation(w io.Writer, maxCells, steps int) SedimentationResult {
 // step, so the comparison isolates the per-matvec cost by differencing runs
 // with 1 and 1+k matvecs (setup time cancels).
 func AblationLocalVsGlobal(w io.Writer, level int) (tLocal, tGlobal float64) {
-	f := forest.NewUniform(cubeSphereRoots(8, 1), level)
-	surf := bie.NewSurface(f, bie.DefaultParams())
+	cb, err := scenario.Build("cubesphere", scenario.Params{Level: level})
+	if err != nil {
+		panic(err)
+	}
+	surf := cb.Surf
 	phi := make([]float64, surf.NumUnknowns())
 	for k, p := range surf.Pts {
 		phi[3*k] = p[0] * p[1]

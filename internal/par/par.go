@@ -226,6 +226,46 @@ func (c *Comm) finishSegment(bytes int64, stage any, combine func(staged []any, 
 	return res
 }
 
+// Ledger is a snapshot of a World's virtual-time accounting, suitable for
+// checkpointing and for accumulating across several Run invocations (the
+// campaign runner executes a long simulation as a sequence of checkpointed
+// segments, each its own World).
+type Ledger struct {
+	VirtualTime float64
+	TimeByLabel map[string]float64
+	CommBytes   int64
+	Phases      int
+}
+
+// Ledger returns a snapshot of the world's accumulated accounting.
+func (w *World) Ledger() Ledger {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l := Ledger{
+		VirtualTime: w.virtualTime,
+		TimeByLabel: make(map[string]float64, len(w.timeByLabel)),
+		CommBytes:   w.commBytes,
+		Phases:      w.phases,
+	}
+	for k, v := range w.timeByLabel {
+		l.TimeByLabel[k] = v
+	}
+	return l
+}
+
+// Add accumulates another ledger into l (label-wise).
+func (l *Ledger) Add(o Ledger) {
+	l.VirtualTime += o.VirtualTime
+	l.CommBytes += o.CommBytes
+	l.Phases += o.Phases
+	if l.TimeByLabel == nil {
+		l.TimeByLabel = map[string]float64{}
+	}
+	for k, v := range o.TimeByLabel {
+		l.TimeByLabel[k] += v
+	}
+}
+
 // VirtualTime returns the modeled wall time accumulated so far (seconds).
 func (w *World) VirtualTime() float64 {
 	w.mu.Lock()

@@ -8,6 +8,7 @@ package patch
 
 import (
 	"math"
+	"sync"
 
 	"rbcflow/internal/quadrature"
 )
@@ -21,9 +22,14 @@ type basis struct {
 	ccW   []float64   // Clenshaw–Curtis quadrature weights
 }
 
-var basisCache = map[int]*basis{}
+var (
+	basisMu    sync.Mutex
+	basisCache = map[int]*basis{}
+)
 
 func getBasis(q int) *basis {
+	basisMu.Lock()
+	defer basisMu.Unlock()
 	if b, ok := basisCache[q]; ok {
 		return b
 	}
@@ -47,7 +53,8 @@ type Patch struct {
 	Q   int
 	Val [][3]float64 // len (Q+1)^2; Val[i*(Q+1)+j] = P(nodes[i], nodes[j])
 
-	duP, dvP *Patch // cached derivative fields
+	derivOnce sync.Once
+	duP, dvP  *Patch // cached derivative fields
 }
 
 // FromFunc samples the surface map f on the node grid of order q.
@@ -132,11 +139,11 @@ func (p *Patch) Derivs(u, v float64) (pos, du, dv [3]float64) {
 
 // derivPatches returns the derivative fields as patches (cached).
 func (p *Patch) derivPatches() (*Patch, *Patch) {
-	if p.duP == nil {
+	p.derivOnce.Do(func() {
 		duN, dvN := p.nodeDeriv()
 		p.duP = &Patch{Q: p.Q, Val: duN}
 		p.dvP = &Patch{Q: p.Q, Val: dvN}
-	}
+	})
 	return p.duP, p.dvP
 }
 

@@ -2,6 +2,7 @@ package rbc
 
 import (
 	"math"
+	"sync"
 
 	"rbcflow/internal/sht"
 )
@@ -24,10 +25,15 @@ type SingularQuad struct {
 	SinHalf []float64
 }
 
-var sqCache = map[int]*SingularQuad{}
+var (
+	sqMu    sync.Mutex
+	sqCache = map[int]*SingularQuad{}
+)
 
 // NewSingularQuad builds (and caches) the quadrature for order p.
 func NewSingularQuad(p int) *SingularQuad {
+	sqMu.Lock()
+	defer sqMu.Unlock()
 	if sq, ok := sqCache[p]; ok {
 		return sq
 	}

@@ -1,0 +1,407 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rbcflow/internal/par"
+)
+
+// CampaignConfig describes a parameter-sweep campaign: a family of
+// scenarios crossed with a grid of sweep axes, executed across a bounded
+// worker pool with per-run timeouts and checkpoint/restart.
+type CampaignConfig struct {
+	// Scenarios to run; expanded in the listed order.
+	Scenarios []string `json:"scenarios"`
+	// Base parameters applied to every run before sweep axes.
+	Base Params `json:"base"`
+	// Sweep maps axis names (Params JSON tags) to value lists; the grid is
+	// the cartesian product, axes expanded in sorted-key order.
+	Sweep map[string][]float64 `json:"sweep,omitempty"`
+
+	Steps           int     `json:"steps"`
+	Ranks           int     `json:"ranks,omitempty"`
+	Machine         string  `json:"machine,omitempty"` // "skx" (default) | "knl"
+	Workers         int     `json:"workers,omitempty"`
+	CheckpointEvery int     `json:"checkpoint_every,omitempty"`
+	OutputEvery     int     `json:"output_every,omitempty"`
+	TimeoutSec      float64 `json:"timeout_sec,omitempty"`
+	// DisableResume restarts every run from step 0 even when a checkpoint
+	// exists.
+	DisableResume bool `json:"disable_resume,omitempty"`
+	// SurfaceRes is the wall-VTK per-patch quad resolution.
+	SurfaceRes int `json:"surface_res,omitempty"`
+}
+
+// Defaults fills zero fields.
+func (c *CampaignConfig) Defaults() {
+	if c.Steps == 0 {
+		c.Steps = 4
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.Machine == "" {
+		c.Machine = "skx"
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.TimeoutSec == 0 {
+		c.TimeoutSec = 600
+	}
+}
+
+// MachineModel resolves the machine name.
+func (c *CampaignConfig) MachineModel() (par.Machine, error) {
+	switch c.Machine {
+	case "", "skx":
+		return par.SKX(), nil
+	case "knl":
+		return par.KNL(), nil
+	}
+	return par.Machine{}, fmt.Errorf("campaign: unknown machine %q (want skx or knl)", c.Machine)
+}
+
+// LoadCampaignConfig reads a JSON campaign file.
+func LoadCampaignConfig(path string) (*CampaignConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &CampaignConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("campaign: parse %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// RunSpec is one point of the expanded sweep grid.
+type RunSpec struct {
+	// ID is the deterministic run identity (scenario + sweep coordinates);
+	// it names the run's output directory.
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Params   Params `json:"params"`
+}
+
+// ExpandSweep produces the deterministic run list: scenarios in listed
+// order, sweep axes in sorted-key order, values in listed order.
+func ExpandSweep(cfg *CampaignConfig) ([]RunSpec, error) {
+	keys := make([]string, 0, len(cfg.Sweep))
+	for k := range cfg.Sweep {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Validate axis names once against a scratch Params.
+	for _, k := range keys {
+		var scratch Params
+		if err := scratch.Set(k, 0); err != nil {
+			return nil, err
+		}
+		if len(cfg.Sweep[k]) == 0 {
+			return nil, fmt.Errorf("campaign: sweep axis %q has no values", k)
+		}
+	}
+	var specs []RunSpec
+	for _, name := range cfg.Scenarios {
+		if _, err := Get(name); err != nil {
+			return nil, err
+		}
+		// Cartesian product over axes, first key slowest.
+		idx := make([]int, len(keys))
+		for {
+			p := cfg.Base
+			var coord []string
+			for i, k := range keys {
+				v := cfg.Sweep[k][idx[i]]
+				if err := p.Set(k, v); err != nil {
+					return nil, err
+				}
+				coord = append(coord, fmt.Sprintf("%s%g", strings.ReplaceAll(k, "_", ""), v))
+			}
+			id := name
+			if len(coord) > 0 {
+				id += "_" + strings.Join(coord, "_")
+			}
+			specs = append(specs, RunSpec{ID: id, Scenario: name, Params: p})
+			// Advance the odometer.
+			i := len(keys) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(cfg.Sweep[keys[i]]) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return specs, nil
+}
+
+// RunRecord is one run's entry in the campaign manifest.
+type RunRecord struct {
+	ID          string `json:"id"`
+	Scenario    string `json:"scenario"`
+	Params      Params `json:"params"`
+	GeometryKey string `json:"geometry_key,omitempty"`
+	// Status: "ok", "failed", "timeout", or "geometry-only" (non-steppable
+	// scenarios).
+	Status      string   `json:"status"`
+	Error       string   `json:"error,omitempty"`
+	Steps       int      `json:"steps"`
+	ResumedFrom int      `json:"resumed_from"`
+	NumCells    int      `json:"num_cells"`
+	VirtualTime float64  `json:"virtual_time"`
+	Outputs     []string `json:"outputs,omitempty"`
+}
+
+// Manifest is the deterministic campaign summary written to
+// <outdir>/manifest.json: runs appear in sweep-expansion order with their
+// status and outputs. It carries no timestamps, so re-running a finished
+// campaign reproduces it byte-for-byte.
+type Manifest struct {
+	Config CampaignConfig `json:"config"`
+	Runs   []RunRecord    `json:"runs"`
+}
+
+// OKCount returns how many runs finished ("ok" or "geometry-only").
+func (m *Manifest) OKCount() int {
+	n := 0
+	for _, r := range m.Runs {
+		if r.Status == "ok" || r.Status == "geometry-only" {
+			n++
+		}
+	}
+	return n
+}
+
+// geomCache shares BuildGeometry results across sweep points with equal
+// (scenario, GeometryKey); the per-entry Once means concurrent workers
+// build each geometry exactly once and block until it is ready.
+type geomCache struct {
+	mu sync.Mutex
+	m  map[string]*geomEntry
+}
+
+type geomEntry struct {
+	once sync.Once
+	geom *Geom
+	err  error
+}
+
+func (gc *geomCache) get(key string, build func() (*Geom, error)) (*Geom, error) {
+	gc.mu.Lock()
+	e, ok := gc.m[key]
+	if !ok {
+		e = &geomEntry{}
+		gc.m[key] = e
+	}
+	gc.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			// A panicking build must poison the entry with a real error:
+			// sync.Once never re-runs, and later waiters would otherwise
+			// get (nil, nil) and crash far from the cause.
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("geometry build panicked: %v", r)
+			}
+		}()
+		e.geom, e.err = build()
+	})
+	return e.geom, e.err
+}
+
+// RunCampaign expands the sweep and executes every run across a bounded
+// worker pool, reusing geometry across sweep points, checkpointing each run,
+// and writing the deterministic manifest to <outDir>/manifest.json. A log
+// line per run goes to logw (io.Discard to silence). Run failures are
+// recorded in the manifest, not returned: the error is non-nil only for
+// campaign-level problems (bad config, unwritable outDir).
+func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest, error) {
+	cfg.Defaults()
+	machine, err := cfg.MachineModel()
+	if err != nil {
+		return nil, err
+	}
+	specs, err := ExpandSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("campaign: no runs (empty scenario list?)")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	cache := &geomCache{m: map[string]*geomEntry{}}
+	records := make([]RunRecord, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				records[i] = executeSpec(specs[i], cfg, machine, cache, outDir)
+				r := records[i]
+				switch r.Status {
+				case "ok":
+					fmt.Fprintf(logw, "run %-40s ok: %d steps (resumed from %d), %d cells, virtual time %.3fs\n",
+						r.ID, r.Steps, r.ResumedFrom, r.NumCells, r.VirtualTime)
+				case "geometry-only":
+					fmt.Fprintf(logw, "run %-40s geometry-only (scenario is not steppable)\n", r.ID)
+				default:
+					fmt.Fprintf(logw, "run %-40s %s: %s\n", r.ID, r.Status, r.Error)
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	m := &Manifest{Config: *cfg, Runs: records}
+	if err := WriteManifest(filepath.Join(outDir, "manifest.json"), m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// executeSpec runs one sweep point with panic containment and a watchdog
+// timeout. On timeout the worker moves on and the record says so; the
+// abandoned goroutine finishes (or not) in the background — compute can't
+// be preempted, but the campaign keeps draining.
+func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *geomCache, outDir string) RunRecord {
+	rec := RunRecord{ID: spec.ID, Scenario: spec.Scenario, Params: spec.Params, ResumedFrom: -1}
+	scn, err := Get(spec.Scenario)
+	if err != nil {
+		rec.Status, rec.Error = "failed", err.Error()
+		return rec
+	}
+	p := spec.Params
+	p.Defaults()
+	rec.GeometryKey = scn.GeometryKey(p)
+
+	type result struct {
+		rec RunRecord
+	}
+	done := make(chan result, 1)
+	go func() {
+		r := rec
+		defer func() {
+			if e := recover(); e != nil {
+				r.Status, r.Error = "failed", fmt.Sprintf("panic: %v", e)
+			}
+			done <- result{r}
+		}()
+		geom, err := cache.get(spec.Scenario+"|"+rec.GeometryKey, func() (*Geom, error) {
+			return scn.BuildGeometry(p)
+		})
+		if err != nil {
+			r.Status, r.Error = "failed", err.Error()
+			return
+		}
+		b, err := scn.Populate(geom, p)
+		if err != nil {
+			r.Status, r.Error = "failed", err.Error()
+			return
+		}
+		b.Scenario, b.Params, b.Geom = spec.Scenario, p, geom
+		if b.Surf == nil {
+			b.Surf = geom.Surf
+		}
+		runDir := filepath.Join(outDir, spec.ID)
+		if !scn.Steppable {
+			// Geometry-only scenarios still emit their wall surface.
+			wallPath := filepath.Join(runDir, "wall.vtk")
+			if err := writeFileVTK(wallPath, func(w io.Writer) error {
+				return WriteSurfaceVTK(w, b.Surf, cfg.SurfaceRes, spec.ID+" wall")
+			}); err != nil {
+				r.Status, r.Error = "failed", err.Error()
+				return
+			}
+			if _, _, err := ValidateVTKFile(wallPath); err != nil {
+				r.Status, r.Error = "failed", err.Error()
+				return
+			}
+			r.Status = "geometry-only"
+			r.Outputs = []string{relPath(outDir, wallPath)}
+			return
+		}
+		outcome, err := Execute(b, RunOptions{
+			Ranks:           cfg.Ranks,
+			Machine:         machine,
+			Steps:           cfg.Steps,
+			CheckpointEvery: cfg.CheckpointEvery,
+			OutputEvery:     cfg.OutputEvery,
+			OutDir:          runDir,
+			NoResume:        cfg.DisableResume,
+			SurfaceRes:      cfg.SurfaceRes,
+		})
+		if err != nil {
+			r.Status, r.Error = "failed", err.Error()
+			return
+		}
+		r.Status = "ok"
+		r.Steps = outcome.Steps
+		r.ResumedFrom = outcome.ResumedFrom
+		r.NumCells = len(outcome.Centroids)
+		r.VirtualTime = outcome.Ledger.VirtualTime
+		for _, f := range outcome.Outputs {
+			r.Outputs = append(r.Outputs, relPath(outDir, f))
+		}
+		sort.Strings(r.Outputs)
+	}()
+
+	select {
+	case res := <-done:
+		return res.rec
+	case <-time.After(time.Duration(cfg.TimeoutSec * float64(time.Second))):
+		rec.Status = "timeout"
+		rec.Error = fmt.Sprintf("run exceeded %.0fs", cfg.TimeoutSec)
+		return rec
+	}
+}
+
+func relPath(base, p string) string {
+	if r, err := filepath.Rel(base, p); err == nil {
+		return r
+	}
+	return p
+}
+
+// WriteManifest writes the manifest as stable, indented JSON.
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads a manifest back (used by the resume smoke checks).
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

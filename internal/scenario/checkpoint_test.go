@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rbcflow/internal/par"
+)
+
+func TestRNGStreamResumes(t *testing.T) {
+	a := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	b := &RNG{State: a.State}
+	c := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		c.Uint64()
+	}
+	for i := 0; i < 5; i++ {
+		if b.Uint64() != c.Uint64() {
+			t.Fatal("restored RNG diverged from the original stream")
+		}
+	}
+	if f := NewRNG(0).Float64(); f < 0 || f >= 1 {
+		t.Fatalf("Float64 out of range: %v", f)
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	b, err := Build("shear", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		Scenario:  "shear",
+		ParamsSig: b.Params.Signature(),
+		Step:      7,
+		Cells:     StateFromCells(b.Cells),
+		Phi:       []float64{1.5, -2.25, 3.125},
+		V0:        1.25,
+		RNG:       0xdeadbeef,
+		Ledger: par.Ledger{
+			VirtualTime: 1.5,
+			TimeByLabel: map[string]float64{"COL": 0.5, "Other": 1.0},
+			CommBytes:   128,
+			Phases:      3,
+		},
+	}
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 || got.RNG != 0xdeadbeef || got.V0 != 1.25 || got.Scenario != "shear" {
+		t.Fatalf("scalar fields lost: %+v", got)
+	}
+	if got.Ledger.TimeByLabel["COL"] != 0.5 {
+		t.Fatalf("ledger lost: %+v", got.Ledger)
+	}
+	cells := CellsFromState(got.Cells)
+	if len(cells) != len(b.Cells) {
+		t.Fatalf("cells %d want %d", len(cells), len(b.Cells))
+	}
+	for i := range cells {
+		for d := 0; d < 3; d++ {
+			for k := range cells[i].X[d] {
+				if cells[i].X[d][k] != b.Cells[i].X[d][k] {
+					t.Fatalf("cell %d coord not bit-identical", i)
+				}
+			}
+		}
+	}
+
+	// Version mismatch must be rejected, not mis-decoded.
+	bad := *got
+	bad.Version = CheckpointVersion + 99
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the round-trip contract of ISSUE 2:
+// run k steps, checkpoint, restore, continue to n — centroids must be
+// bit-identical to an uninterrupted n-step run. The free-space variant runs
+// everywhere; the vessel variant (exercising the GMRES warm-start path) is
+// skipped under -short.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		ranks  int
+		short  bool
+	}{
+		{name: "shear", params: Params{}, ranks: 1, short: true},
+		{name: "shear", params: Params{}, ranks: 2, short: true},
+		{name: "torus", params: Params{MaxCells: 2}, ranks: 1, short: false},
+	}
+	const n, k = 4, 2
+	for _, tc := range cases {
+		if !tc.short && testing.Short() {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *Bundle {
+				b, err := Build(tc.name, tc.params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			// Reference: uninterrupted n steps, fully in memory.
+			ref, err := Execute(build(), RunOptions{Ranks: tc.ranks, Steps: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted: k steps with a checkpoint, then a fresh Execute
+			// (fresh bundle, as after a process restart) resumes to n.
+			dir := t.TempDir()
+			first, err := Execute(build(), RunOptions{
+				Ranks: tc.ranks, Steps: k, CheckpointEvery: k, OutDir: dir,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.ResumedFrom != -1 {
+				t.Fatalf("first run should be fresh, resumed from %d", first.ResumedFrom)
+			}
+			second, err := Execute(build(), RunOptions{
+				Ranks: tc.ranks, Steps: n, CheckpointEvery: k, OutDir: dir,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second.ResumedFrom != k {
+				t.Fatalf("second run resumed from %d, want %d", second.ResumedFrom, k)
+			}
+
+			if len(ref.Centroids) != len(second.Centroids) {
+				t.Fatalf("cell counts differ: %d vs %d", len(ref.Centroids), len(second.Centroids))
+			}
+			for i := range ref.Centroids {
+				for d := 0; d < 3; d++ {
+					if ref.Centroids[i][d] != second.Centroids[i][d] {
+						t.Fatalf("cell %d dim %d: %.17g != %.17g (not bit-identical)",
+							i, d, ref.Centroids[i][d], second.Centroids[i][d])
+					}
+				}
+			}
+
+			// The resumed run's observables continue the same series.
+			if len(second.Rows) != n-k || second.Rows[0].Step != k+1 {
+				t.Fatalf("resumed rows wrong: %+v", second.Rows)
+			}
+		})
+	}
+}
+
+// A checkpoint from one configuration must not silently seed another.
+func TestCheckpointConfigMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Build("shear", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(b, RunOptions{Steps: 1, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build("shear", Params{SphOrder: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(other, RunOptions{Steps: 2, OutDir: dir}); err == nil {
+		t.Fatal("resume with different params accepted")
+	}
+}

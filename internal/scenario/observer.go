@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rbcflow/internal/par"
+)
+
+// ObsRow is one step's scalar observables (gathered globally on rank 0).
+type ObsRow struct {
+	Step     int
+	Time     float64 // physical time Step·Δt
+	NumCells int
+	GMRES    int
+	Contacts int
+	NCPIters int
+	// Mean centroid of all cells.
+	MeanX, MeanY, MeanZ float64
+	// Total cell volume and its relative drift from the initial volume (the
+	// incompressibility fidelity metric of §5.4).
+	CellVolume float64
+	VolumeErr  float64
+}
+
+// csvFile is an append-mode CSV writer that creates the header once.
+type csvFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openCSV(path, header string) (*csvFile, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	fresh := err != nil || st.Size() == 0
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c := &csvFile{f: f, bw: bufio.NewWriter(f)}
+	if fresh {
+		fmt.Fprintln(c.bw, header)
+	}
+	return c, nil
+}
+
+func (c *csvFile) Close() error {
+	if err := c.bw.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
+// truncateCSVAfterStep drops rows whose first column exceeds maxStep — on
+// resume, any rows the interrupted run wrote past its last checkpoint are
+// rewound so the resumed file matches an uninterrupted run's exactly.
+func truncateCSVAfterStep(path string, maxStep int) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var keep []string
+	for i, line := range lines {
+		if i == 0 {
+			keep = append(keep, line) // header
+			continue
+		}
+		first, _, _ := strings.Cut(line, ",")
+		step, err := strconv.Atoi(first)
+		if err != nil || step <= maxStep {
+			keep = append(keep, line)
+		}
+	}
+	return os.WriteFile(path, []byte(strings.Join(keep, "\n")+"\n"), 0o644)
+}
+
+// Observer owns the per-run CSV time series:
+//
+//	observables.csv — one row per step (see ObsRow)
+//	centroids.csv   — one row per (step, cell)
+//	timings.csv     — one row per checkpoint segment with the virtual-time
+//	                  breakdown by category
+type Observer struct {
+	dir                 string
+	obs, cents, timings *csvFile
+}
+
+const (
+	obsHeader     = "step,time,cells,gmres_iters,contacts,ncp_iters,mean_x,mean_y,mean_z,cell_volume,volume_err"
+	centsHeader   = "step,cell,x,y,z"
+	timingsHeader = "step_end,segment,virtual_time,col,bie_solve,bie_fmm,other_fmm,other,comm_bytes,phases"
+)
+
+// NewObserver opens the three CSVs under dir, first rewinding any rows past
+// resumedStep (use 0 for a fresh run).
+func NewObserver(dir string, resumedStep int) (*Observer, error) {
+	for _, name := range []string{"observables.csv", "centroids.csv", "timings.csv"} {
+		if err := truncateCSVAfterStep(filepath.Join(dir, name), resumedStep); err != nil {
+			return nil, err
+		}
+	}
+	o := &Observer{dir: dir}
+	var err error
+	if o.obs, err = openCSV(filepath.Join(dir, "observables.csv"), obsHeader); err != nil {
+		return nil, err
+	}
+	if o.cents, err = openCSV(filepath.Join(dir, "centroids.csv"), centsHeader); err != nil {
+		o.obs.Close()
+		return nil, err
+	}
+	if o.timings, err = openCSV(filepath.Join(dir, "timings.csv"), timingsHeader); err != nil {
+		o.obs.Close()
+		o.cents.Close()
+		return nil, err
+	}
+	return o, nil
+}
+
+// Record appends one step's observables and per-cell centroids.
+func (o *Observer) Record(r ObsRow, centroids [][3]float64) {
+	fmt.Fprintf(o.obs.bw, "%d,%.6f,%d,%d,%d,%d,%.9g,%.9g,%.9g,%.12g,%.6g\n",
+		r.Step, r.Time, r.NumCells, r.GMRES, r.Contacts, r.NCPIters,
+		r.MeanX, r.MeanY, r.MeanZ, r.CellVolume, r.VolumeErr)
+	for i, c := range centroids {
+		fmt.Fprintf(o.cents.bw, "%d,%d,%.12g,%.12g,%.12g\n", r.Step, i, c[0], c[1], c[2])
+	}
+}
+
+// RecordSegment appends one checkpoint segment's timing breakdown and
+// flushes everything, so files on disk are complete at every checkpoint.
+// step_end leads the row so the resume rewind (truncateCSVAfterStep)
+// applies to timings.csv as well.
+func (o *Observer) RecordSegment(segment, stepEnd int, l par.Ledger) error {
+	lb := func(k string) float64 { return l.TimeByLabel[k] }
+	fmt.Fprintf(o.timings.bw, "%d,%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%d,%d\n",
+		stepEnd, segment, l.VirtualTime,
+		lb("COL"), lb("BIE-solve"), lb("BIE-FMM"), lb("Other-FMM"), lb("Other"),
+		l.CommBytes, l.Phases)
+	for _, c := range []*csvFile{o.obs, o.cents, o.timings} {
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes all three files.
+func (o *Observer) Close() error {
+	var first error
+	for _, c := range []*csvFile{o.obs, o.cents, o.timings} {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Files lists the observer's output paths.
+func (o *Observer) Files() []string {
+	return []string{
+		filepath.Join(o.dir, "observables.csv"),
+		filepath.Join(o.dir, "centroids.csv"),
+		filepath.Join(o.dir, "timings.csv"),
+	}
+}

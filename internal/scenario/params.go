@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Params is the JSON-configurable knob set shared by every scenario. Zero
+// fields take scenario-appropriate defaults: Defaults fills the universal
+// ones, and each builder fills its geometry-specific ones (e.g. the capsule
+// scenario's lattice spacing differs from the torus's). Campaign sweeps
+// mutate Params through Set, so every sweepable axis is a field here.
+type Params struct {
+	// Discretization.
+	SphOrder int `json:"sph_order,omitempty"` // cell spherical-harmonic order
+	Level    int `json:"level,omitempty"`     // surface refinement level
+
+	// Cell population.
+	MaxCells   int     `json:"max_cells,omitempty"`
+	Spacing    float64 `json:"spacing,omitempty"`     // fill lattice spacing (0 = scenario rule)
+	CellRadius float64 `json:"cell_radius,omitempty"` // nominal cell radius (0 = scenario rule)
+	WallMargin float64 `json:"wall_margin,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+
+	// Physics / stepping.
+	Dt      float64 `json:"dt,omitempty"`
+	Mu      float64 `json:"mu,omitempty"`
+	KappaB  float64 `json:"kappa_b,omitempty"`
+	MinSep  float64 `json:"min_sep,omitempty"`
+	Gravity float64 `json:"gravity,omitempty"` // downward body force (capsule)
+
+	// Solver.
+	GMRESMax int     `json:"gmres_max,omitempty"`
+	GMRESTol float64 `json:"gmres_tol,omitempty"`
+
+	// Network scenarios.
+	Hct         float64 `json:"hct,omitempty"`    // inlet discharge haematocrit
+	Gamma       float64 `json:"gamma,omitempty"`  // plasma-skimming exponent
+	Inflow      float64 `json:"inflow,omitempty"` // inlet volumetric flow
+	Depth       int     `json:"depth,omitempty"`  // binary-tree depth
+	Rows        int     `json:"rows,omitempty"`   // honeycomb rows
+	Cols        int     `json:"cols,omitempty"`   // honeycomb cols
+	NetworkPath string  `json:"network_path,omitempty"`
+}
+
+// Defaults fills the universal zero fields; scenario builders fill the rest.
+func (p *Params) Defaults() {
+	if p.SphOrder == 0 {
+		p.SphOrder = 4
+	}
+	if p.Mu == 0 {
+		p.Mu = 1
+	}
+	if p.KappaB == 0 {
+		p.KappaB = 0.05
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.GMRESTol == 0 {
+		p.GMRESTol = 1e-3
+	}
+	if p.Hct == 0 {
+		p.Hct = 0.12
+	}
+	if p.Gamma == 0 {
+		p.Gamma = 1.4
+	}
+	if p.Inflow == 0 {
+		p.Inflow = 2.0
+	}
+	if p.Depth == 0 {
+		p.Depth = 2
+	}
+	if p.Rows == 0 {
+		p.Rows = 1
+	}
+	if p.Cols == 0 {
+		p.Cols = 2
+	}
+}
+
+// SweepKeys are the axis names Set accepts, in canonical order.
+func SweepKeys() []string {
+	return []string{
+		"cell_radius", "cols", "depth", "dt", "gamma", "gravity", "hct",
+		"inflow", "kappa_b", "level", "max_cells", "min_sep", "rows", "seed",
+		"spacing", "sph_order",
+	}
+}
+
+// Set applies one sweep-axis value by key name (the JSON tag). Integer
+// fields round the value.
+//
+// Zero means "scenario default" throughout Params, so a sweep point of 0
+// on a defaulted axis (gravity, hct, dt, ...) runs the scenario default,
+// not a literal zero — sweeping "gravity=0,1.5" on the capsule therefore
+// runs the default gravity twice. Axes where zero is a real value
+// (level, rows, seed) are used verbatim.
+func (p *Params) Set(key string, v float64) error {
+	i := func() int { return int(math.Round(v)) }
+	switch key {
+	case "sph_order":
+		p.SphOrder = i()
+	case "level":
+		p.Level = i()
+	case "max_cells":
+		p.MaxCells = i()
+	case "spacing":
+		p.Spacing = v
+	case "cell_radius":
+		p.CellRadius = v
+	case "min_sep":
+		p.MinSep = v
+	case "seed":
+		p.Seed = int64(i())
+	case "dt":
+		p.Dt = v
+	case "kappa_b":
+		p.KappaB = v
+	case "gravity":
+		p.Gravity = v
+	case "hct":
+		p.Hct = v
+	case "gamma":
+		p.Gamma = v
+	case "inflow":
+		p.Inflow = v
+	case "depth":
+		p.Depth = i()
+	case "rows":
+		p.Rows = i()
+	case "cols":
+		p.Cols = i()
+	default:
+		return fmt.Errorf("scenario: unknown sweep key %q (known: %s)",
+			key, strings.Join(SweepKeys(), ", "))
+	}
+	return nil
+}
+
+// Signature returns a deterministic compact rendering of the non-zero
+// fields, used in run IDs and geometry-cache keys. Map-free and sorted, so
+// equal Params always produce equal strings.
+func (p Params) Signature() string {
+	b, _ := json.Marshal(p) // struct fields marshal in declaration order
+	var m map[string]any
+	_ = json.Unmarshal(b, &m)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, m[k]))
+	}
+	return strings.Join(parts, ",")
+}

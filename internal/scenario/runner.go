@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rbcflow/internal/core"
+	"rbcflow/internal/par"
+	"rbcflow/internal/rbc"
+)
+
+// RunOptions configures one checkpointed execution of a scenario bundle.
+type RunOptions struct {
+	Ranks   int
+	Machine par.Machine
+
+	// Steps is the target step count. Resuming a run whose checkpoint is
+	// already at or past Steps is a no-op.
+	Steps int
+
+	// CheckpointEvery saves a snapshot every k steps (0 = only at the end).
+	// The run executes as a sequence of par.Run segments, one per
+	// checkpoint interval; state is gathered, snapshotted, and rethreaded
+	// between segments, which is bit-identical to an uninterrupted run.
+	CheckpointEvery int
+
+	// OutputEvery writes a cells VTK snapshot whenever a checkpoint
+	// boundary crosses a multiple of this step count (0 = final only).
+	OutputEvery int
+
+	// OutDir receives ckpt/VTK/CSV files; empty runs fully in memory.
+	OutDir string
+
+	// NoResume ignores an existing checkpoint and restarts from step 0.
+	NoResume bool
+
+	// SurfaceRes is the per-patch quad resolution of the wall VTK.
+	SurfaceRes int
+}
+
+func (o *RunOptions) defaults() {
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	if o.Machine.Name == "" {
+		o.Machine = par.SKX()
+	}
+}
+
+// RunOutcome summarizes one execution.
+type RunOutcome struct {
+	Scenario    string
+	Steps       int // steps completed in total (including resumed ones)
+	ResumedFrom int // checkpoint step this run resumed at; -1 for fresh
+	Centroids   [][3]float64
+	Rows        []ObsRow // observable rows produced by THIS invocation
+	LastStats   core.StepStats
+	Ledger      par.Ledger
+	Outputs     []string // files written (checkpoint, VTK, CSV)
+}
+
+func totalVolume(cells []*rbc.Cell) float64 {
+	var v float64
+	for _, c := range cells {
+		v += c.Volume()
+	}
+	return v
+}
+
+// Execute runs a bundle to opt.Steps with checkpoint/restart, VTK output,
+// and CSV observables. Restart is bit-identical: the checkpoint carries the
+// complete mutable state (cell grids, GMRES warm start, RNG stream, ledger),
+// so a run interrupted at any checkpoint and resumed reproduces the
+// uninterrupted trajectory exactly.
+func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
+	opt.defaults()
+	if len(b.Cells) == 0 {
+		return nil, fmt.Errorf("scenario %s: no cells to simulate (raise hct/max_cells or shrink cell_radius)", b.Scenario)
+	}
+
+	cells := b.Cells
+	var phi []float64
+	startStep := 0
+	resumedFrom := -1
+	rng := NewRNG(b.Params.Seed)
+	var ledger par.Ledger
+	v0 := totalVolume(cells)
+	out := &RunOutcome{Scenario: b.Scenario, ResumedFrom: -1}
+
+	ckptPath := ""
+	if opt.OutDir != "" {
+		ckptPath = filepath.Join(opt.OutDir, "state.ckpt")
+		if !opt.NoResume {
+			ck, err := LoadCheckpoint(ckptPath)
+			switch {
+			case err == nil:
+				if ck.Scenario != b.Scenario || ck.ParamsSig != b.Params.Signature() {
+					return nil, fmt.Errorf("scenario: checkpoint %s belongs to %s[%s], refusing to resume %s[%s]",
+						ckptPath, ck.Scenario, ck.ParamsSig, b.Scenario, b.Params.Signature())
+				}
+				cells = CellsFromState(ck.Cells)
+				phi = ck.Phi
+				startStep = ck.Step
+				resumedFrom = ck.Step
+				rng.State = ck.RNG
+				ledger = ck.Ledger
+				v0 = ck.V0
+				out.ResumedFrom = ck.Step
+			case os.IsNotExist(err):
+				// fresh run
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	var obs *Observer
+	if opt.OutDir != "" {
+		var err error
+		if obs, err = NewObserver(opt.OutDir, startStep); err != nil {
+			return nil, err
+		}
+		defer obs.Close()
+		if b.Surf != nil {
+			wallPath := filepath.Join(opt.OutDir, "wall.vtk")
+			err := writeFileVTK(wallPath, func(w io.Writer) error {
+				return WriteSurfaceVTK(w, b.Surf, opt.SurfaceRes, b.Scenario+" wall")
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := ValidateVTKFile(wallPath); err != nil {
+				return nil, err
+			}
+			out.Outputs = append(out.Outputs, wallPath)
+		}
+	}
+
+	writeCellsSnapshot := func(step int) error {
+		if opt.OutDir == "" {
+			return nil
+		}
+		p := filepath.Join(opt.OutDir, fmt.Sprintf("cells_%06d.vtk", step))
+		err := writeFileVTK(p, func(w io.Writer) error {
+			return WriteCellsVTK(w, cells, fmt.Sprintf("%s cells step %d", b.Scenario, step))
+		})
+		if err != nil {
+			return err
+		}
+		if _, _, err := ValidateVTKFile(p); err != nil {
+			return err
+		}
+		out.Outputs = append(out.Outputs, p)
+		return nil
+	}
+
+	for start := startStep; start < opt.Steps; {
+		segEnd := opt.Steps
+		if opt.CheckpointEvery > 0 && start+opt.CheckpointEvery < segEnd {
+			segEnd = start + opt.CheckpointEvery
+		}
+		seg := segEnd - start
+
+		var rows []ObsRow
+		var cents [][][3]float64
+		var lastStats core.StepStats
+		cfg := b.Config
+		cfg.OnStep = func(c *par.Comm, sim *core.Simulation, step int, st core.StepStats) {
+			parts := par.Allgatherv(c, sim.Centroids())
+			vol := sim.TotalCellVolume(c)
+			if c.Rank() != 0 {
+				return
+			}
+			var all [][3]float64
+			for _, p := range parts {
+				all = append(all, p...)
+			}
+			row := ObsRow{
+				Step: step, Time: float64(step) * sim.Cfg.Dt, NumCells: len(all),
+				GMRES: st.GMRESIters, Contacts: st.Contacts, NCPIters: st.NCPIters,
+				CellVolume: vol,
+			}
+			for _, cen := range all {
+				row.MeanX += cen[0]
+				row.MeanY += cen[1]
+				row.MeanZ += cen[2]
+			}
+			if len(all) > 0 {
+				n := float64(len(all))
+				row.MeanX, row.MeanY, row.MeanZ = row.MeanX/n, row.MeanY/n, row.MeanZ/n
+			}
+			if v0 > 0 {
+				row.VolumeErr = (vol - v0) / v0
+			}
+			rows = append(rows, row)
+			cents = append(cents, all)
+			lastStats = st
+		}
+
+		var nextCells []*rbc.Cell
+		var nextPhi []float64
+		world := par.Run(opt.Ranks, opt.Machine, func(c *par.Comm) {
+			sim := core.New(c, cfg, cells, b.Surf, b.G)
+			sim.StepCount = start
+			sim.RestorePhi(c, phi)
+			for s := 0; s < seg; s++ {
+				sim.Step(c)
+			}
+			nc := sim.ExportCells(c)
+			np := sim.ExportPhi(c)
+			if c.Rank() == 0 {
+				nextCells, nextPhi = nc, np
+			}
+		})
+		cells, phi = nextCells, nextPhi
+		segLedger := world.Ledger()
+		ledger.Add(segLedger)
+		for i := 0; i < seg; i++ {
+			rng.Uint64()
+		}
+		out.Rows = append(out.Rows, rows...)
+		out.LastStats = lastStats
+
+		if opt.OutDir != "" {
+			// Segment ids count checkpoint intervals from step 0, so a
+			// resumed run continues the uninterrupted numbering.
+			segment := 0
+			if opt.CheckpointEvery > 0 {
+				segment = start / opt.CheckpointEvery
+			}
+			// CSV rows are flushed BEFORE the checkpoint rename: a crash in
+			// between leaves rows past the (older) checkpoint, which the
+			// next resume rewinds — never a checkpoint whose rows are lost.
+			for i, row := range rows {
+				obs.Record(row, cents[i])
+			}
+			if err := obs.RecordSegment(segment, segEnd, segLedger); err != nil {
+				return nil, err
+			}
+			if err := SaveCheckpoint(ckptPath, &Checkpoint{
+				Scenario:  b.Scenario,
+				ParamsSig: b.Params.Signature(),
+				Step:      segEnd,
+				Cells:     StateFromCells(cells),
+				Phi:       phi,
+				V0:        v0,
+				RNG:       rng.State,
+				Ledger:    ledger,
+			}); err != nil {
+				return nil, err
+			}
+			crossed := opt.OutputEvery > 0 && segEnd/opt.OutputEvery > start/opt.OutputEvery
+			if crossed && segEnd < opt.Steps {
+				if err := writeCellsSnapshot(segEnd); err != nil {
+					return nil, err
+				}
+			}
+		}
+		start = segEnd
+	}
+
+	finalStep := opt.Steps
+	if startStep > finalStep {
+		finalStep = startStep // checkpoint already past the target
+	}
+	if err := writeCellsSnapshot(finalStep); err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		out.Outputs = append(out.Outputs, obs.Files()...)
+	}
+	if ckptPath != "" {
+		out.Outputs = append(out.Outputs, ckptPath)
+	}
+
+	out.Steps = finalStep
+	out.Centroids = make([][3]float64, len(cells))
+	for i, c := range cells {
+		out.Centroids[i] = c.Centroid()
+	}
+	out.Ledger = ledger
+	out.ResumedFrom = resumedFrom
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rbcflow/internal/rbc"
+)
+
+func TestWriteCellsVTKValid(t *testing.T) {
+	cells := []*rbc.Cell{
+		rbc.NewBiconcaveCell(4, 1, [3]float64{0, 0, 0}, nil),
+		rbc.NewSphereCell(4, 0.5, [3]float64{3, 0, 0}),
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsVTK(&buf, cells, "test cells"); err != nil {
+		t.Fatal(err)
+	}
+	npts, ncells, err := ValidateVTK(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("self-validation failed: %v", err)
+	}
+	// Each order-4 cell has (p+1)·2p grid points + 2 poles.
+	perCell := cells[0].Grid.NumPoints() + 2
+	if npts != 2*perCell {
+		t.Fatalf("points %d want %d", npts, 2*perCell)
+	}
+	if ncells == 0 {
+		t.Fatal("no polygons")
+	}
+	if !strings.Contains(buf.String(), "SCALARS cell_id") {
+		t.Fatal("missing cell_id scalars")
+	}
+}
+
+func TestWriteSurfaceVTKValid(t *testing.T) {
+	b, err := Build("cubesphere", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSurfaceVTK(&buf, b.Surf, 3, "cube sphere"); err != nil {
+		t.Fatal(err)
+	}
+	npts, ncells, err := ValidateVTK(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6 * 4 * 4; npts != want { // 6 patches × (3+1)² samples
+		t.Fatalf("points %d want %d", npts, want)
+	}
+	if want := 6 * 3 * 3; ncells != want {
+		t.Fatalf("quads %d want %d", ncells, want)
+	}
+}
+
+func TestValidateVTKRejectsCorruption(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		cells := []*rbc.Cell{rbc.NewSphereCell(3, 1, [3]float64{0, 0, 0})}
+		if err := WriteCellsVTK(&buf, cells, "x"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"bad magic":        strings.Replace(good, "# vtk DataFile", "# not vtk", 1),
+		"binary":           strings.Replace(good, "ASCII", "BINARY", 1),
+		"not polydata":     strings.Replace(good, "DATASET POLYDATA", "DATASET STRUCTURED_GRID", 1),
+		"truncated points": good[:strings.Index(good, "POLYGONS")-40],
+		"index overflow":   strings.Replace(good, "3 0 1 ", "3 0 999999 ", 1),
+	}
+	for name, body := range cases {
+		if _, _, err := ValidateVTK(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	if _, _, err := ValidateVTK(strings.NewReader(good)); err != nil {
+		t.Errorf("pristine file rejected: %v", err)
+	}
+}

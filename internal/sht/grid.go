@@ -3,6 +3,7 @@ package sht
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rbcflow/internal/fft"
 	"rbcflow/internal/quadrature"
@@ -47,10 +48,15 @@ func (c *Coeffs) Copy() *Coeffs {
 	return out
 }
 
-var gridCache = map[int]*Grid{}
+var (
+	gridMu    sync.Mutex
+	gridCache = map[int]*Grid{}
+)
 
 // NewGrid builds (and caches) the grid for order p >= 1.
 func NewGrid(p int) *Grid {
+	gridMu.Lock()
+	defer gridMu.Unlock()
 	if g, ok := gridCache[p]; ok {
 		return g
 	}
@@ -236,9 +242,14 @@ func (g *Grid) inverseWith(c *Coeffs, out []float64, plmTab [][]float64, dphi bo
 	}
 }
 
-var trigCache = map[int][2][][]float64{}
+var (
+	trigMu    sync.Mutex
+	trigCache = map[int][2][][]float64{}
+)
 
 func (g *Grid) trigTables() (cosTab, sinTab [][]float64) {
+	trigMu.Lock()
+	defer trigMu.Unlock()
 	if t, ok := trigCache[g.Nlon]; ok {
 		return t[0], t[1]
 	}

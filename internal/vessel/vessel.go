@@ -75,10 +75,13 @@ func TrefoilRoots(order, nu, nv int, scale, r float64) []*patch.Patch {
 				up := [3]float64{0, 0, 1}
 				n1 := patch.Normalize(orthogonalize(up, tan))
 				n2 := patch.Cross(tan, n1)
+				// Tube angle runs clockwise so du×dv points out of the
+				// fluid (into the tube wall), matching the torus convention:
+				// InsideIndicator = +1 in the channel, Volume > 0.
 				return [3]float64{
-					c[0] + r*(math.Cos(ph)*n1[0]+math.Sin(ph)*n2[0]),
-					c[1] + r*(math.Cos(ph)*n1[1]+math.Sin(ph)*n2[1]),
-					c[2] + r*(math.Cos(ph)*n1[2]+math.Sin(ph)*n2[2]),
+					c[0] + r*(math.Cos(ph)*n1[0]-math.Sin(ph)*n2[0]),
+					c[1] + r*(math.Cos(ph)*n1[1]-math.Sin(ph)*n2[1]),
+					c[2] + r*(math.Cos(ph)*n1[2]-math.Sin(ph)*n2[2]),
 				}
 			}))
 		}

@@ -18,6 +18,8 @@
 package rbcflow
 
 import (
+	"io"
+
 	"rbcflow/internal/bie"
 	"rbcflow/internal/core"
 	"rbcflow/internal/forest"
@@ -25,6 +27,7 @@ import (
 	"rbcflow/internal/par"
 	"rbcflow/internal/patch"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/scenario"
 	"rbcflow/internal/vessel"
 )
 
@@ -76,6 +79,23 @@ type (
 	HaematocritParams = network.HaematocritParams
 	// SeedParams configures haematocrit-driven cell seeding.
 	SeedParams = network.SeedParams
+
+	// ScenarioParams are the JSON-configurable scenario knobs.
+	ScenarioParams = scenario.Params
+	// ScenarioBundle is a built scenario: geometry, cells, BCs, Config.
+	ScenarioBundle = scenario.Bundle
+	// RunOptions configures a checkpointed scenario execution.
+	RunOptions = scenario.RunOptions
+	// RunOutcome summarizes a checkpointed scenario execution.
+	RunOutcome = scenario.RunOutcome
+	// Checkpoint is a versioned simulation snapshot.
+	Checkpoint = scenario.Checkpoint
+	// CampaignConfig describes a parameter-sweep campaign.
+	CampaignConfig = scenario.CampaignConfig
+	// CampaignManifest is the deterministic campaign summary.
+	CampaignManifest = scenario.Manifest
+	// Ledger is a virtual-time accounting snapshot.
+	Ledger = par.Ledger
 )
 
 // BIE operator modes.
@@ -200,3 +220,49 @@ func NetworkHaematocrit(n *Network, f *NetworkFlow, prm HaematocritParams) []flo
 func SeedNetworkCells(n *Network, H []float64, prm SeedParams) []*Cell {
 	return network.SeedCells(n, H, prm)
 }
+
+// Scenarios lists the registered scenario names.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioNetworkGraph builds only the graph stage (nodes, segments,
+// boundary conditions) of a network-family scenario — cheap JSON export
+// without the flow solve and surface build.
+func ScenarioNetworkGraph(name string, p ScenarioParams) (*Network, error) {
+	return scenario.NetworkGraph(name, p)
+}
+
+// BuildScenario builds a named scenario's geometry, cell population,
+// boundary data, and step Config in one call.
+func BuildScenario(name string, p ScenarioParams) (*ScenarioBundle, error) {
+	return scenario.Build(name, p)
+}
+
+// ExecuteScenario runs a bundle with checkpoint/restart, VTK output, and
+// CSV observables (see scenario.Execute).
+func ExecuteScenario(b *ScenarioBundle, opt RunOptions) (*RunOutcome, error) {
+	return scenario.Execute(b, opt)
+}
+
+// RunCampaign expands a parameter sweep and executes it across a bounded
+// worker pool, writing a deterministic manifest to outDir.
+func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*CampaignManifest, error) {
+	return scenario.RunCampaign(cfg, outDir, logw)
+}
+
+// SaveCheckpoint / LoadCheckpoint expose the versioned gob snapshots.
+func SaveCheckpoint(path string, ck *Checkpoint) error { return scenario.SaveCheckpoint(path, ck) }
+func LoadCheckpoint(path string) (*Checkpoint, error)  { return scenario.LoadCheckpoint(path) }
+
+// WriteCellsVTK writes cell membranes as legacy-VTK polydata.
+func WriteCellsVTK(w io.Writer, cells []*Cell, title string) error {
+	return scenario.WriteCellsVTK(w, cells, title)
+}
+
+// WriteSurfaceVTK writes a vessel wall as legacy-VTK polydata.
+func WriteSurfaceVTK(w io.Writer, s *Surface, res int, title string) error {
+	return scenario.WriteSurfaceVTK(w, s, res, title)
+}
+
+// ValidateVTK checks a legacy-VTK polydata stream and returns its point and
+// polygon counts.
+func ValidateVTK(r io.Reader) (npts, ncells int, err error) { return scenario.ValidateVTK(r) }

@@ -113,3 +113,24 @@ func TestMachineModels(t *testing.T) {
 		t.Fatal("KNL cores must be slower than SKX cores")
 	}
 }
+
+func TestPublicAPIScenarioAndCampaign(t *testing.T) {
+	names := rbcflow.Scenarios()
+	if len(names) < 8 {
+		t.Fatalf("too few scenarios registered: %v", names)
+	}
+	b, err := rbcflow.BuildScenario("shear", rbcflow.ScenarioParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Steps != 1 || len(outcome.Centroids) != 2 {
+		t.Fatalf("unexpected outcome: %+v", outcome)
+	}
+	if outcome.Ledger.VirtualTime <= 0 {
+		t.Fatal("no virtual time in ledger")
+	}
+}
