@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -33,6 +34,9 @@ func main() {
 	inflow := flag.Float64("inflow", 2.0, "inlet volumetric flow")
 	simulate := flag.Bool("sim", true, "run the boundary-integral simulation")
 	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
+	blend := flag.Float64("blend", 0, "junction blend width in units of the smallest radius (0 = default)")
+	legacy := flag.Bool("legacy-junctions", false, "use the legacy overlapping-capsule junction model")
+	volCheck := flag.Bool("volcheck", false, "compute the order-converged junction volume with error bars (extra geometry builds)")
 	flag.Parse()
 
 	name := *scn
@@ -46,7 +50,8 @@ func main() {
 		SphOrder: *order, Level: *level, MaxCells: *maxCells,
 		Hct: *hct, Gamma: *gamma, Inflow: *inflow,
 		Depth: *depth, Rows: *rows, Cols: *cols,
-		NetworkPath: *load,
+		NetworkPath:   *load,
+		JunctionBlend: *blend, LegacyJunctions: *legacy,
 	}
 
 	if *save != "" {
@@ -79,10 +84,37 @@ func main() {
 			si, s.A, s.B, s.Radius, net.SegmentLength(si), flow.Q[si], H[si])
 	}
 
+	modelName := "blended junctions"
+	if *legacy {
+		modelName = "legacy capsule junctions"
+	}
+	flux := b.Geom.NetGeom.ComponentFlux(b.Surf, b.G)
+	var worstFlux float64
+	for _, fl := range flux {
+		if math.Abs(fl) > worstFlux {
+			worstFlux = math.Abs(fl)
+		}
+	}
+	fmt.Printf("geometry: %s, %d wall components, worst component flux %.2e, closure defect %.2e\n",
+		modelName, len(flux), worstFlux, rbcflow.NetworkClosureDefect(b.Surf))
+	if fb := b.Geom.NetGeom.FallbackNodes; len(fb) > 0 {
+		fmt.Printf("  capsule fallback at junction nodes %v (too tight to blend)\n", fb)
+	}
+	if *volCheck {
+		// Rebuild on the exact TubeParams the simulated geometry used.
+		vol, errEst, err := rbcflow.NetworkNumericalVolume(net, b.Geom.NetGeom.Tube, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  converged volume %.6f ± %.2e (tube-sum reference %.3f)\n",
+			vol, errEst, b.Geom.NetGeom.AnalyticVolume())
+	}
+
 	if !*simulate {
 		return
 	}
-	fmt.Printf("surface: %d patches (volume %.3f, analytic %.3f); %d cells seeded\n",
+	fmt.Printf("surface: %d patches (volume %.3f, tube-sum reference %.3f); %d cells seeded\n",
 		b.Surf.F.NumPatches(), rbcflow.VesselVolume(b.Surf), b.Geom.NetGeom.AnalyticVolume(), len(b.Cells))
 	if len(b.Cells) == 0 {
 		fmt.Println("no cells fit this configuration; increase -hct or network size")

@@ -46,7 +46,7 @@ func main() {
 	cells := rbcflow.SeedNetworkCells(net, H, rbcflow.SeedParams{
 		SphOrder: 4, CellRadius: 0.3, WallMargin: 0.12, MaxCells: 6, Seed: 11,
 	})
-	fmt.Printf("surface: %d patches, volume %.3f (analytic %.3f); %d cells\n",
+	fmt.Printf("surface: %d patches, volume %.3f (tube-sum reference %.3f); %d cells\n",
 		surf.F.NumPatches(), rbcflow.VesselVolume(surf), geom.AnalyticVolume(), len(cells))
 
 	cfg := rbcflow.Config{

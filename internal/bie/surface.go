@@ -280,6 +280,43 @@ func (s *Surface) ExtrapolateTo(dist float64) []float64 {
 	return quadrature.ExtrapolationWeights(cp, dist)
 }
 
+// EnclosedVolume returns the enclosed volume of the surface by the
+// divergence theorem over the coarse quadrature: V = (1/3)|∮ x·n dA|.
+// Normals must point out of the enclosed fluid.
+func (s *Surface) EnclosedVolume() float64 {
+	var v float64
+	for k, x := range s.Pts {
+		n := s.Nrm[k]
+		v += (x[0]*n[0] + x[1]*n[1] + x[2]*n[2]) * s.W[k] / 3
+	}
+	return math.Abs(v)
+}
+
+// NetFlux returns the discrete net flux ∮ g·n dA of a boundary velocity g
+// (3 values per coarse node) over the listed patches, or over the whole
+// surface when patches is nil. The interior Dirichlet Stokes problem is
+// solvable only if this vanishes for every closed component of Γ, so
+// callers assert NetFlux ≈ 0 per component before solving (the vascular
+// network geometry exposes the per-component patch sets).
+func (s *Surface) NetFlux(g []float64, patches []int) float64 {
+	var flux float64
+	addPatch := func(pid int) {
+		for k := pid * s.NQ; k < (pid+1)*s.NQ; k++ {
+			flux += (g[3*k]*s.Nrm[k][0] + g[3*k+1]*s.Nrm[k][1] + g[3*k+2]*s.Nrm[k][2]) * s.W[k]
+		}
+	}
+	if patches == nil {
+		for pid := range s.F.Patches {
+			addPatch(pid)
+		}
+	} else {
+		for _, pid := range patches {
+			addPatch(pid)
+		}
+	}
+	return flux
+}
+
 // InsideIndicator evaluates the Laplace double-layer identity at x using the
 // coarse quadrature: ≈1 inside the fluid domain, ≈0 outside. Accurate away
 // from the wall (further than about one patch size); used by the filling

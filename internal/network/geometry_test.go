@@ -74,7 +74,7 @@ func TestTubeNormalsPointOutOfFluid(t *testing.T) {
 					}
 				}
 				ref = [3]float64{x[0] - cbest[0], x[1] - cbest[1], x[2] - cbest[2]}
-			case RootJunctionCap:
+			case RootJunctionCap, RootJunctionHull:
 				c := n.Nodes[meta.Node].Pos
 				ref = [3]float64{x[0] - c[0], x[1] - c[1], x[2] - c[2]}
 			case RootTerminalCap:
@@ -92,17 +92,7 @@ func TestTubeNormalsPointOutOfFluid(t *testing.T) {
 	}
 }
 
-func TestGeometryRootCounts(t *testing.T) {
-	n := testY()
-	g, err := BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(g.Roots) != len(g.Meta) {
-		t.Fatalf("roots/meta length mismatch: %d vs %d", len(g.Roots), len(g.Meta))
-	}
-	// 3 terminal caps (1 patch each), 3 junction caps (5 patches each).
-	var walls, tcaps, jcaps int
+func countKinds(g *Geometry) (walls, tcaps, jcaps, hulls int) {
 	for _, m := range g.Meta {
 		switch m.Kind {
 		case RootWall:
@@ -111,10 +101,46 @@ func TestGeometryRootCounts(t *testing.T) {
 			tcaps++
 		case RootJunctionCap:
 			jcaps++
+		case RootJunctionHull:
+			hulls++
 		}
 	}
-	if tcaps != 3 || jcaps != 15 {
-		t.Fatalf("cap patch counts: %d terminal, %d junction (want 3, 15)", tcaps, jcaps)
+	return
+}
+
+func TestGeometryRootCounts(t *testing.T) {
+	n := testY()
+	// Blended (default): 3 terminal caps, no hemisphere caps, one hull of at
+	// least NV patches per incident segment, no fallback nodes.
+	g, err := BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Roots) != len(g.Meta) {
+		t.Fatalf("roots/meta length mismatch: %d vs %d", len(g.Roots), len(g.Meta))
+	}
+	walls, tcaps, jcaps, hulls := countKinds(g)
+	if tcaps != 3 || jcaps != 0 {
+		t.Fatalf("blended cap patch counts: %d terminal, %d junction caps (want 3, 0)", tcaps, jcaps)
+	}
+	if hulls < 3*4 {
+		t.Fatalf("blended hull patch count %d, want at least %d", hulls, 3*4)
+	}
+	if walls == 0 || len(g.Caps) != 3 {
+		t.Fatalf("wall patches %d, caps %d", walls, len(g.Caps))
+	}
+	if len(g.FallbackNodes) != 0 {
+		t.Fatalf("unexpected capsule fallback at nodes %v", g.FallbackNodes)
+	}
+	// Legacy capsule model behind the compatibility flag: 3 terminal caps
+	// (1 patch each), 3 junction caps (5 patches each), no hull patches.
+	g, err = BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5, Junction: JunctionCapsule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walls, tcaps, jcaps, hulls = countKinds(g)
+	if tcaps != 3 || jcaps != 15 || hulls != 0 {
+		t.Fatalf("capsule cap patch counts: %d terminal, %d junction, %d hull (want 3, 15, 0)", tcaps, jcaps, hulls)
 	}
 	if walls == 0 || len(g.Caps) != 3 {
 		t.Fatalf("wall patches %d, caps %d", walls, len(g.Caps))

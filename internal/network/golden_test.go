@@ -1,0 +1,114 @@
+package network
+
+// Golden-file test for the network JSON schema: the on-disk bytes of the
+// canonical Y-bifurcation are pinned so accidental schema or formatting
+// drift is caught, and a load/save round trip must be byte-identical.
+// Regenerate with:
+//
+//	go test ./internal/network -run Golden -update-golden
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// compareJSONNumericTokens compares two JSON texts token-wise (split on
+// whitespace, brackets and commas): numeric tokens must agree to 1e-12
+// relative, everything else byte-exactly. Returns "" on match.
+func compareJSONNumericTokens(got, want string) string {
+	split := func(s string) []string {
+		return strings.FieldsFunc(s, func(r rune) bool {
+			return r == ' ' || r == '\n' || r == '\t' || r == ',' || r == '[' || r == ']' || r == '{' || r == '}'
+		})
+	}
+	gt, wt := split(got), split(want)
+	if len(gt) != len(wt) {
+		return fmt.Sprintf("token count %d vs %d", len(gt), len(wt))
+	}
+	for i := range gt {
+		if gt[i] == wt[i] {
+			continue
+		}
+		a, errA := strconv.ParseFloat(gt[i], 64)
+		b, errB := strconv.ParseFloat(wt[i], 64)
+		if errA != nil || errB != nil {
+			return fmt.Sprintf("token %d: %q vs %q", i, gt[i], wt[i])
+		}
+		if diff := math.Abs(a - b); diff > 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b))) {
+			return fmt.Sprintf("token %d: %v vs %v", i, a, b)
+		}
+	}
+	return ""
+}
+
+func TestGoldenNetworkJSON(t *testing.T) {
+	n := testY()
+	got, err := n.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n') // Save appends a trailing newline
+	path := filepath.Join("testdata", "y_network.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Builder node positions involve cos/sin and multiply-add chains the
+		// compiler may fuse differently on other architectures; tolerate
+		// last-bit numeric differences, fail on anything structural.
+		if msg := compareJSONNumericTokens(string(got), string(want)); msg != "" {
+			t.Fatalf("network JSON drifted from golden file %s: %s\ngot:\n%s\nwant:\n%s", path, msg, got, want)
+		}
+		t.Log("golden JSON differs only in floating-point last bits (FMA/architecture)")
+	}
+
+	// Round trip through the file layer: load the golden, re-save, compare.
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "y.json")
+	if err := os.WriteFile(tmp, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resaved := filepath.Join(dir, "y2.json")
+	if err := Save(loaded, resaved); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("JSON round trip is not byte-identical")
+	}
+	// Semantic round trip.
+	if len(loaded.Nodes) != len(n.Nodes) || len(loaded.Segs) != len(n.Segs) {
+		t.Fatalf("round trip lost structure: %d/%d nodes, %d/%d segments",
+			len(loaded.Nodes), len(n.Nodes), len(loaded.Segs), len(n.Segs))
+	}
+	for i := range n.Nodes {
+		if loaded.Nodes[i] != n.Nodes[i] {
+			t.Fatalf("node %d drifted: %+v vs %+v", i, loaded.Nodes[i], n.Nodes[i])
+		}
+	}
+}

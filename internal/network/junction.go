@@ -1,0 +1,465 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rbcflow/internal/patch"
+)
+
+// The blended junction model replaces the overlapping hemisphere caps of
+// the legacy capsule model with a single smooth wall per junction:
+//
+//  1. Each incident segment's barrel is trimmed at a "collar" — the
+//     station closest to the node at which every OTHER incident tube is at
+//     least one blend width Kappa away from the rim circle, so the blended
+//     field there equals the exact circular tube and the rim is an exact
+//     circle shared with the hull.
+//  2. The junction hull is the piece of the blended zero level set between
+//     the collars. It is star-shaped about the node for straight incident
+//     tubes (the chord from the node to any union-surface point stays
+//     inside the union), so it is parameterized by ray-casting from the
+//     node: directions are organized into one sector per incident segment
+//     (the spherical Voronoi cell of its axis), and each sector is an
+//     annulus of patches from the rim's pullback curve out to the cell
+//     boundary. Adjacent sectors share the exact bisector boundary and the
+//     hull shares the exact collar rims with the barrels, so the union of
+//     patches is watertight up to polynomial interpolation error (which
+//     the junction test suite pins down by volume convergence).
+//
+// Junctions too tight to blend (a rim pullback that does not fit inside
+// its Voronoi cell, or a segment too short for its collars) fall back to
+// the capsule model per node unless TubeParams.StrictBlend is set.
+
+// junctionEnd is one segment incidence at a junction node, with the data
+// needed to trim its barrel and emit its hull sector.
+type junctionEnd struct {
+	seg     int
+	end     int        // 0 = the segment's A end is at this node, 1 = B end
+	axis    [3]float64 // unit, pointing from the node into the segment
+	e1, e2  [3]float64 // orthonormal frame spanning the plane normal to axis
+	tCollar float64    // collar parameter on the segment's curve
+	rim     func(phi float64) [3]float64
+}
+
+// junctionPlan is the blended realization of one junction node.
+type junctionPlan struct {
+	node    int
+	blended bool
+	ends    []junctionEnd
+}
+
+// segGeomCache shares curves and sweeps between planning and emission.
+type segGeomCache struct {
+	curves []*Curve
+	sweeps []*sweep
+}
+
+func newSegGeomCache(n *Network) *segGeomCache {
+	c := &segGeomCache{
+		curves: make([]*Curve, len(n.Segs)),
+		sweeps: make([]*sweep, len(n.Segs)),
+	}
+	for si := range n.Segs {
+		c.curves[si] = n.Curve(si)
+		c.sweeps[si] = newSweep(c.curves[si])
+	}
+	return c
+}
+
+// tAtArc returns the curve parameter at arc length ell from the given end
+// (end 0 measures from t=0 forward, end 1 from t=1 backward).
+func tAtArc(cu *Curve, end int, ell float64) float64 {
+	L := cu.Length()
+	if ell >= L {
+		ell = L
+	}
+	const m = 256
+	var acc float64
+	for i := 0; i < m; i++ {
+		t := (float64(i) + 0.5) / m
+		if end == 1 {
+			t = 1 - t
+		}
+		acc += patch.Norm(cu.Tangent(t)) / m
+		if acc >= ell {
+			frac := float64(i+1) / m
+			if end == 1 {
+				return 1 - frac
+			}
+			return frac
+		}
+	}
+	if end == 1 {
+		return 0
+	}
+	return 1
+}
+
+// arcBetween returns the arc length of the curve between parameters ta < tb.
+func arcBetween(cu *Curve, ta, tb float64) float64 {
+	const m = 128
+	var acc float64
+	for i := 0; i < m; i++ {
+		t := ta + (tb-ta)*(float64(i)+0.5)/m
+		acc += patch.Norm(cu.Tangent(t)) * (tb - ta) / m
+	}
+	return acc
+}
+
+// planJunctions computes the blended plan for every junction node; nodes
+// that cannot be blended are marked for capsule fallback (or reported as an
+// error in strict mode). Planning runs twice: the first pass reserves half
+// a segment's collar budget for each junction end, and the second pass
+// retries failed nodes with the full budget toward far ends that did NOT
+// blend (their capsule caps need no collar), so a wide junction is not
+// dragged down by an infeasible neighbour.
+func planJunctions(n *Network, cache *segGeomCache, f *Field, tp TubeParams) (map[int]*junctionPlan, error) {
+	deg := n.Degree()
+	inc := n.Incident()
+	plans := map[int]*junctionPlan{}
+	for node := range n.Nodes {
+		if deg[node] < 2 {
+			continue
+		}
+		plan, err := planOneJunction(n, cache, f, tp, deg, node, inc[node], nil)
+		if err != nil {
+			if tp.StrictBlend {
+				return nil, err
+			}
+			plan = &junctionPlan{node: node, blended: false}
+		}
+		plans[node] = plan
+	}
+	// Second pass: failed nodes retry with the collar budget that follows
+	// from the first pass's fallback decisions.
+	blendedAt := func(node int) bool {
+		p := plans[node]
+		return p != nil && p.blended
+	}
+	for node := range n.Nodes {
+		if deg[node] < 2 || blendedAt(node) {
+			continue
+		}
+		if plan, err := planOneJunction(n, cache, f, tp, deg, node, inc[node], blendedAt); err == nil {
+			plans[node] = plan
+		}
+	}
+	// A segment between two blended junctions needs disjoint collars.
+	for si := range n.Segs {
+		s := n.Segs[si]
+		pa, pb := plans[s.A], plans[s.B]
+		if pa == nil || pb == nil || !pa.blended || !pb.blended {
+			continue
+		}
+		ta := collarOf(pa, si)
+		tb := collarOf(pb, si)
+		if ta >= 0 && tb >= 0 && ta+0.05 > tb {
+			if tp.StrictBlend {
+				return nil, fmt.Errorf("network: segment %d too short for blended collars at both junctions %d and %d", si, s.A, s.B)
+			}
+			pa.blended = false
+			pb.blended = false
+		}
+	}
+	return plans, nil
+}
+
+func collarOf(p *junctionPlan, seg int) float64 {
+	for _, e := range p.ends {
+		if e.seg == seg {
+			return e.tCollar
+		}
+	}
+	return -1
+}
+
+// planOneJunction finds collars and frames for all incidences at one node.
+// blendedAt, when non-nil, reports whether the far end of a segment blends
+// (first pass passes nil and conservatively reserves budget for every
+// junction far end).
+func planOneJunction(n *Network, cache *segGeomCache, f *Field, tp TubeParams, deg []int, node int, incSegs []int, blendedAt func(int) bool) (*junctionPlan, error) {
+	P := n.Nodes[node].Pos
+	plan := &junctionPlan{node: node, blended: true}
+
+	// Axes pointing from the node into each incident segment.
+	type incidence struct {
+		seg, end int
+		axis     [3]float64
+	}
+	var incs []incidence
+	for _, si := range incSegs {
+		s := n.Segs[si]
+		cu := cache.curves[si]
+		if s.A == node {
+			incs = append(incs, incidence{si, 0, cu.UnitTangent(0)})
+		}
+		if s.B == node {
+			t := cu.UnitTangent(1)
+			incs = append(incs, incidence{si, 1, [3]float64{-t[0], -t[1], -t[2]}})
+		}
+	}
+
+	const (
+		rimSamples  = 24
+		clearFactor = 1.02 // rim clearance in units of Kappa
+		angleMargin = 0.03 // radians between rim pullback and cell boundary
+	)
+	// Clearance is 1-Lipschitz along the rim, so between samples spaced
+	// πr/rimSamples·2 apart it can dip by up to half the spacing; the
+	// sampled requirement adds that bound to stay sound.
+	sampleSlack := func(r float64) float64 { return math.Pi * r / rimSamples }
+	for _, in := range incs {
+		si := in.seg
+		s := n.Segs[si]
+		cu, sw := cache.curves[si], cache.sweeps[si]
+		L := cu.Length()
+		otherNode := s.B
+		if in.end == 1 {
+			otherNode = s.A
+		}
+		r := s.Radius
+		ellMax := 0.85 * L
+		if deg[otherNode] > 1 {
+			if blendedAt == nil || blendedAt(otherNode) {
+				// Leave the far junction its own collar budget.
+				ellMax = 0.48 * L
+			} else {
+				// The far junction wears a capsule hemisphere; stay clear of
+				// its bulge but use the rest of the segment.
+				ellMax = math.Min(0.85*L, L-1.5*n.Segs[si].Radius)
+			}
+		}
+		found := false
+		var tc float64
+		for ell := 1.05 * r; ell <= ellMax; ell += 0.05 * r {
+			t := tAtArc(cu, in.end, ell)
+			ctr := cu.Point(t)
+			_, n1, n2 := sw.Frame(t)
+			ok := true
+			for k := 0; k < rimSamples && ok; k++ {
+				phi := 2 * math.Pi * float64(k) / rimSamples
+				x := [3]float64{
+					ctr[0] + r*(math.Cos(phi)*n1[0]+math.Sin(phi)*n2[0]),
+					ctr[1] + r*(math.Cos(phi)*n1[1]+math.Sin(phi)*n2[1]),
+					ctr[2] + r*(math.Cos(phi)*n1[2]+math.Sin(phi)*n2[2]),
+				}
+				// (1) Blend inactive on the rim: every other tube at least
+				// clearFactor*Kappa away, plus the sampling slack so the
+				// bound holds between sampled azimuths too.
+				if f.MinOtherSeg(x, si) < clearFactor*f.Kappa()+sampleSlack(r) {
+					ok = false
+					break
+				}
+				// (2) Rim pullback inside the Voronoi cell of this axis.
+				w := patch.Normalize([3]float64{x[0] - P[0], x[1] - P[1], x[2] - P[2]})
+				thSelf := math.Acos(clampUnit(patch.DotV(w, in.axis)))
+				for _, om := range incs {
+					if om.seg == si && om.end == in.end {
+						continue
+					}
+					thOther := math.Acos(clampUnit(patch.DotV(w, om.axis)))
+					if thSelf > thOther-angleMargin {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				tc, found = t, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("network: junction %d: no feasible blend collar on segment %d (angle too tight or segment too short); use JunctionCapsule or adjust the network", node, si)
+		}
+		end := junctionEnd{seg: si, end: in.end, axis: in.axis, tCollar: tc}
+		// Frame normal to the axis, seeded from the sweep frame at the collar.
+		_, n1, n2 := sw.Frame(tc)
+		end.e1 = patch.Normalize(orthoTo(n1, in.axis))
+		e2 := orthoTo(n2, in.axis)
+		d := patch.DotV(e2, end.e1)
+		end.e2 = patch.Normalize([3]float64{e2[0] - d*end.e1[0], e2[1] - d*end.e1[1], e2[2] - d*end.e1[2]})
+		ctr := cu.Point(tc)
+		r2 := s.Radius
+		end.rim = func(phi float64) [3]float64 {
+			return [3]float64{
+				ctr[0] + r2*(math.Cos(phi)*n1[0]+math.Sin(phi)*n2[0]),
+				ctr[1] + r2*(math.Cos(phi)*n1[1]+math.Sin(phi)*n2[1]),
+				ctr[2] + r2*(math.Cos(phi)*n1[2]+math.Sin(phi)*n2[2]),
+			}
+		}
+		plan.ends = append(plan.ends, end)
+	}
+	return plan, nil
+}
+
+func orthoTo(v, a [3]float64) [3]float64 {
+	d := patch.DotV(v, a)
+	return [3]float64{v[0] - d*a[0], v[1] - d*a[1], v[2] - d*a[2]}
+}
+
+func clampUnit(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// cellBoundary returns the polar angle (from end.axis) of the spherical
+// Voronoi cell boundary at azimuth psi, i.e. the bisector distance to the
+// nearest competing axis, together with the index of that competitor.
+func cellBoundary(end *junctionEnd, axes [][3]float64, self int, psi float64) (float64, int) {
+	u := [3]float64{
+		math.Cos(psi)*end.e1[0] + math.Sin(psi)*end.e2[0],
+		math.Cos(psi)*end.e1[1] + math.Sin(psi)*end.e2[1],
+		math.Cos(psi)*end.e1[2] + math.Sin(psi)*end.e2[2],
+	}
+	beta, who := math.Pi, -1
+	for m, am := range axes {
+		if m == self {
+			continue
+		}
+		c := patch.DotV(end.axis, am)
+		sv := patch.DotV(u, am)
+		th := math.Atan2(1-c, sv)
+		if th < beta {
+			beta, who = th, m
+		}
+	}
+	return beta, who
+}
+
+// sectorBreakpoints returns the azimuths at which the Voronoi cell boundary
+// switches competitor (patch boundaries are placed there so each hull patch
+// is a smooth map).
+func sectorBreakpoints(end *junctionEnd, axes [][3]float64, self int) []float64 {
+	const scan = 1440
+	var brk []float64
+	_, prev := cellBoundary(end, axes, self, 0)
+	for k := 1; k <= scan; k++ {
+		psi := 2 * math.Pi * float64(k) / scan
+		_, who := cellBoundary(end, axes, self, psi)
+		if who != prev {
+			lo := 2 * math.Pi * float64(k-1) / scan
+			hi := psi
+			left := prev
+			for it := 0; it < 40; it++ {
+				mid := (lo + hi) / 2
+				if _, w := cellBoundary(end, axes, self, mid); w == left {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			brk = append(brk, (lo+hi)/2)
+			prev = who
+		}
+	}
+	sort.Float64s(brk)
+	return brk
+}
+
+// sectorSpans builds the phi ranges of one sector's patches: boundaries at
+// every competitor switch, subdivided so no span exceeds 2*pi/nv.
+func sectorSpans(brk []float64, nv int) [][2]float64 {
+	maxSpan := 2 * math.Pi / float64(nv)
+	var edges []float64
+	if len(brk) == 0 {
+		for k := 0; k <= nv; k++ {
+			edges = append(edges, 2*math.Pi*float64(k)/float64(nv))
+		}
+	} else {
+		for i := range brk {
+			a := brk[i]
+			b := brk[(i+1)%len(brk)]
+			if i == len(brk)-1 {
+				b += 2 * math.Pi
+			}
+			span := b - a
+			parts := int(math.Ceil(span / maxSpan))
+			if parts < 1 {
+				parts = 1
+			}
+			for k := 0; k < parts; k++ {
+				edges = append(edges, a+span*float64(k)/float64(parts))
+			}
+		}
+		edges = append(edges, brk[0]+2*math.Pi)
+	}
+	var spans [][2]float64
+	for i := 0; i+1 < len(edges); i++ {
+		if edges[i+1]-edges[i] > 1e-9 {
+			spans = append(spans, [2]float64{edges[i], edges[i+1]})
+		}
+	}
+	return spans
+}
+
+// buildJunctionHull constructs the hull patches of one blended junction.
+// A ray-cast failure (blend surface not star-shaped about the node, e.g.
+// strongly curved incident centerlines) is reported as an error so the
+// caller can fall back to capsule caps at this node.
+func buildJunctionHull(tp TubeParams, f *Field, plan *junctionPlan, P [3]float64) ([]*patch.Patch, []RootMeta, error) {
+	axes := make([][3]float64, len(plan.ends))
+	segs := make([]int, len(plan.ends))
+	for i := range plan.ends {
+		axes[i] = plan.ends[i].axis
+		segs[i] = plan.ends[i].seg
+	}
+	// Ray-cast bounds from the collar distances.
+	var maxRho float64
+	for i := range plan.ends {
+		e := &plan.ends[i]
+		d := dist(e.rim(0), P)
+		maxRho = math.Max(maxRho, 3*d+f.Kappa())
+	}
+	step := 0.25 * f.Kappa()
+	var roots []*patch.Patch
+	var meta []RootMeta
+	var castErr error
+	for i := range plan.ends {
+		end := &plan.ends[i]
+		spans := sectorSpans(sectorBreakpoints(end, axes, i), tp.NV)
+		for _, sp := range spans {
+			sp := sp
+			mapf := func(u, v float64) [3]float64 {
+				phi := sp[0] + (sp[1]-sp[0])*(u+1)/2
+				s := (v + 1) / 2
+				xr := end.rim(phi)
+				if s <= 0 {
+					return xr
+				}
+				w := patch.Normalize([3]float64{xr[0] - P[0], xr[1] - P[1], xr[2] - P[2]})
+				thIn := math.Acos(clampUnit(patch.DotV(w, end.axis)))
+				psi := math.Atan2(patch.DotV(w, end.e2), patch.DotV(w, end.e1))
+				beta, _ := cellBoundary(end, axes, i, psi)
+				th := thIn + s*(beta-thIn)
+				cs, sn := math.Cos(psi), math.Sin(psi)
+				dir := [3]float64{
+					math.Cos(th)*end.axis[0] + math.Sin(th)*(cs*end.e1[0]+sn*end.e2[0]),
+					math.Cos(th)*end.axis[1] + math.Sin(th)*(cs*end.e1[1]+sn*end.e2[1]),
+					math.Cos(th)*end.axis[2] + math.Sin(th)*(cs*end.e1[2]+sn*end.e2[2]),
+				}
+				x, ok := f.Raycast(P, dir, segs, step, maxRho)
+				if !ok && castErr == nil {
+					castErr = fmt.Errorf("network: junction %d: hull ray-cast failed (blend surface not star-shaped here); use JunctionCapsule", plan.node)
+				}
+				return x
+			}
+			ref := func(x [3]float64) [3]float64 {
+				return [3]float64{x[0] - P[0], x[1] - P[1], x[2] - P[2]}
+			}
+			roots = append(roots, orientedPatch(tp.Order, mapf, ref))
+			meta = append(meta, RootMeta{Kind: RootJunctionHull, Seg: end.seg, Node: plan.node})
+			if castErr != nil {
+				return nil, nil, castErr
+			}
+		}
+	}
+	return roots, meta, nil
+}

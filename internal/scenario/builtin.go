@@ -305,6 +305,29 @@ func NetworkGraph(name string, p Params) (*network.Network, error) {
 	return b(p)
 }
 
+// junctionKey renders the junction-model axes of a network GeometryKey.
+// The zero blend radius is canonicalized to the model default so sweep
+// points that build identical geometry share one cache entry.
+func junctionKey(p Params) string {
+	if p.LegacyJunctions {
+		return "junction=capsule"
+	}
+	blend := p.JunctionBlend
+	if blend == 0 {
+		blend = network.DefaultBlendRadius
+	}
+	return fmt.Sprintf("junction=blend%g", blend)
+}
+
+// junctionModel maps the scenario compatibility flag onto the geometry's
+// junction model.
+func junctionModel(p Params) network.JunctionModel {
+	if p.LegacyJunctions {
+		return network.JunctionCapsule
+	}
+	return network.JunctionBlended
+}
+
 // buildNetworkGeom realizes a network scenario's geometry stage: apply the
 // boundary conditions, solve the reduced-order flow, sweep the tube surface.
 func buildNetworkGeom(net *network.Network, p Params) (*Geom, error) {
@@ -312,7 +335,10 @@ func buildNetworkGeom(net *network.Network, p Params) (*Geom, error) {
 	if err != nil {
 		return nil, err
 	}
-	ng, err := network.BuildGeometry(net, network.TubeParams{Order: 6, AxialLen: 3.5})
+	ng, err := network.BuildGeometry(net, network.TubeParams{
+		Order: 6, AxialLen: 3.5,
+		Junction: junctionModel(p), BlendRadius: p.JunctionBlend,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +381,7 @@ func populateNetwork(g *Geom, p Params) (*Bundle, error) {
 	cells := network.SeedCells(g.Net, H, network.SeedParams{
 		SphOrder: p.SphOrder, CellRadius: radius, WallMargin: margin,
 		MaxCells: maxCells, Seed: p.Seed,
+		Junction: junctionModel(p),
 	})
 	return &Bundle{
 		Surf:        g.Surf,
@@ -385,7 +412,7 @@ func registerNetworks() {
 		},
 		Populate: populateNetwork,
 		GeometryKey: func(p Params) string {
-			return fmt.Sprintf("level=%d,inflow=%g,mu=%g", p.Level, p.Inflow, p.Mu)
+			return fmt.Sprintf("level=%d,inflow=%g,mu=%g,%s", p.Level, p.Inflow, p.Mu, junctionKey(p))
 		},
 	})
 	Register(&Scenario{
@@ -401,7 +428,7 @@ func registerNetworks() {
 		},
 		Populate: populateNetwork,
 		GeometryKey: func(p Params) string {
-			return fmt.Sprintf("level=%d,depth=%d,inflow=%g,mu=%g", p.Level, p.Depth, p.Inflow, p.Mu)
+			return fmt.Sprintf("level=%d,depth=%d,inflow=%g,mu=%g,%s", p.Level, p.Depth, p.Inflow, p.Mu, junctionKey(p))
 		},
 	})
 	Register(&Scenario{
@@ -417,7 +444,7 @@ func registerNetworks() {
 		},
 		Populate: populateNetwork,
 		GeometryKey: func(p Params) string {
-			return fmt.Sprintf("level=%d,rows=%d,cols=%d,inflow=%g,mu=%g", p.Level, p.Rows, p.Cols, p.Inflow, p.Mu)
+			return fmt.Sprintf("level=%d,rows=%d,cols=%d,inflow=%g,mu=%g,%s", p.Level, p.Rows, p.Cols, p.Inflow, p.Mu, junctionKey(p))
 		},
 	})
 	Register(&Scenario{
@@ -433,7 +460,7 @@ func registerNetworks() {
 		},
 		Populate: populateNetwork,
 		GeometryKey: func(p Params) string {
-			return fmt.Sprintf("path=%s,level=%d,mu=%g", p.NetworkPath, p.Level, p.Mu)
+			return fmt.Sprintf("path=%s,level=%d,mu=%g,%s", p.NetworkPath, p.Level, p.Mu, junctionKey(p))
 		},
 	})
 }

@@ -44,6 +44,12 @@ type Params struct {
 	Rows        int     `json:"rows,omitempty"`   // honeycomb rows
 	Cols        int     `json:"cols,omitempty"`   // honeycomb cols
 	NetworkPath string  `json:"network_path,omitempty"`
+	// JunctionBlend is the smooth-min blend width of the blended junction
+	// surfaces in units of the smallest segment radius (0 = model default).
+	JunctionBlend float64 `json:"junction_blend,omitempty"`
+	// LegacyJunctions switches the network geometry back to the overlapping
+	// capsule junction model (compatibility flag; see DESIGN.md).
+	LegacyJunctions bool `json:"legacy_junctions,omitempty"`
 }
 
 // Defaults fills the universal zero fields; scenario builders fill the rest.
@@ -87,8 +93,8 @@ func (p *Params) Defaults() {
 func SweepKeys() []string {
 	return []string{
 		"cell_radius", "cols", "depth", "dt", "gamma", "gravity", "hct",
-		"inflow", "kappa_b", "level", "max_cells", "min_sep", "rows", "seed",
-		"spacing", "sph_order",
+		"inflow", "junction_blend", "kappa_b", "level", "max_cells",
+		"min_sep", "rows", "seed", "spacing", "sph_order",
 	}
 }
 
@@ -129,6 +135,8 @@ func (p *Params) Set(key string, v float64) error {
 		p.Gamma = v
 	case "inflow":
 		p.Inflow = v
+	case "junction_blend":
+		p.JunctionBlend = v
 	case "depth":
 		p.Depth = i()
 	case "rows":

@@ -127,14 +127,7 @@ func CapsuleRoots(order int, radius float64, axes [3]float64) []*patch.Patch {
 // Volume returns the enclosed volume of the surface by the divergence
 // theorem over the coarse quadrature: V = (1/3)∮ x·n dA. Normals must point
 // out of the enclosed fluid.
-func Volume(s *bie.Surface) float64 {
-	var v float64
-	for k, x := range s.Pts {
-		n := s.Nrm[k]
-		v += (x[0]*n[0] + x[1]*n[1] + x[2]*n[2]) * s.W[k] / 3
-	}
-	return math.Abs(v)
-}
+func Volume(s *bie.Surface) float64 { return s.EnclosedVolume() }
 
 // FillParams configures the RBC filling algorithm of §5.1.
 type FillParams struct {
@@ -152,6 +145,15 @@ type FillParams struct {
 	MaxCells int
 	// Seed for jitter and orientations.
 	Seed int64
+	// SDF, when set, replaces the Laplace double-layer inside test with a
+	// signed-distance bound to the wall (negative inside the fluid,
+	// 1-Lipschitz): a center is accepted when SDF(ctr) clears the cell's
+	// jittered radius plus WallMargin, certifying a clearance ball around
+	// the whole cell. Network geometries supply their field here
+	// (Geometry.SDF) so filling stays correct near junctions, where the
+	// double-layer indicator probe pattern is both slower and overly
+	// conservative.
+	SDF func(x [3]float64) float64
 }
 
 // Fill places biconcave cells of jittered size and random orientation on a
@@ -177,10 +179,22 @@ func Fill(s *bie.Surface, prm FillParams) []*rbc.Cell {
 					return cells
 				}
 				ctr := [3]float64{x, y, z}
-				if !insideWithMargin(s, ctr, probe) {
-					continue
+				// The SDF path draws the size jitter before the wall test so
+				// the certified clearance covers the ACTUAL cell radius (up
+				// to 1.15·Radius); the indicator path keeps the legacy draw
+				// order to preserve its RNG stream.
+				var r float64
+				if prm.SDF != nil {
+					r = prm.Radius * (0.85 + 0.3*rng.Float64())
+					if prm.SDF(ctr) > -(r + prm.WallMargin) {
+						continue
+					}
+				} else {
+					if !insideWithMargin(s, ctr, probe) {
+						continue
+					}
+					r = prm.Radius * (0.85 + 0.3*rng.Float64())
 				}
-				r := prm.Radius * (0.85 + 0.3*rng.Float64())
 				rot := rbc.RandomRotation(rng)
 				cells = append(cells, rbc.NewBiconcaveCell(prm.SphOrder, r, ctr, &rot))
 			}

@@ -69,6 +69,10 @@ type (
 	NetworkGeometry = network.Geometry
 	// TubeParams configures the swept-tube generator.
 	TubeParams = network.TubeParams
+	// JunctionModel selects how network junctions are realized as surface.
+	JunctionModel = network.JunctionModel
+	// NetworkField is the blended implicit wall field of a network.
+	NetworkField = network.Field
 	// YParams configures the Y-bifurcation builder.
 	YParams = network.YParams
 	// TreeParams configures the symmetric binary tree builder.
@@ -102,6 +106,16 @@ type (
 const (
 	ModeLocal  = bie.ModeLocal
 	ModeGlobal = bie.ModeGlobal
+)
+
+// Junction surface models.
+const (
+	// JunctionBlended (default): one smoothly blended wall per junction, so
+	// each connected network is a single open-ended channel satisfying the
+	// per-component zero-flux solvability condition.
+	JunctionBlended = network.JunctionBlended
+	// JunctionCapsule: the legacy overlapping-capsule model (compatibility).
+	JunctionCapsule = network.JunctionCapsule
 )
 
 // Run executes an SPMD body on p ranks with the given machine model and
@@ -216,9 +230,28 @@ func NetworkHaematocrit(n *Network, f *NetworkFlow, prm HaematocritParams) []flo
 	return network.SplitHaematocrit(n, f, prm)
 }
 
-// SeedNetworkCells fills each segment with cells at its target haematocrit.
+// SeedNetworkCells fills each segment with cells at its target haematocrit,
+// validating placements against the blended wall field by default.
 func SeedNetworkCells(n *Network, H []float64, prm SeedParams) []*Cell {
 	return network.SeedCells(n, H, prm)
+}
+
+// NewNetworkField builds the blended implicit wall field of a network
+// (blendRadius in units of the smallest segment radius, 0 = default). Its
+// Eval method is the signed-distance bound used for seeding and filling.
+func NewNetworkField(n *Network, blendRadius float64) *NetworkField {
+	return network.NewField(n, blendRadius)
+}
+
+// NetworkClosureDefect returns |∮ n dA| / area of a surface — a
+// watertightness metric that vanishes for a closed patch union.
+func NetworkClosureDefect(s *Surface) float64 { return network.ClosureDefect(s) }
+
+// NetworkNumericalVolume returns the order-converged divergence-theorem
+// volume of a network surface with an error estimate (see
+// network.NumericalVolume).
+func NetworkNumericalVolume(n *Network, tp TubeParams, orders []int) (vol, errEst float64, err error) {
+	return network.NumericalVolume(n, tp, orders)
 }
 
 // Scenarios lists the registered scenario names.
