@@ -5,13 +5,18 @@
 package rbcflow_test
 
 import (
+	"encoding/json"
 	"io"
 	"math"
 	"os"
 	"testing"
+	"time"
 
+	"rbcflow/internal/bie"
 	"rbcflow/internal/experiments"
+	"rbcflow/internal/forest"
 	"rbcflow/internal/par"
+	"rbcflow/internal/vessel"
 )
 
 func sink(b *testing.B) io.Writer {
@@ -101,5 +106,63 @@ func BenchmarkAblationLocalVsGlobalQuadrature(b *testing.B) {
 func BenchmarkFig1VesselDemo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.StrongScaling(io.Discard, []int{2}, 0, 10, 1)
+	}
+}
+
+// BenchmarkCappedSolve records the cost of the edge-graded cap-rim solve:
+// graded vs ungraded capped-tube channels at equal accuracy target
+// (relative residual 1e-6, which the seed-era scheme could not reach at
+// all). Each case times the one-off solver precompute (the adaptive
+// singular quadrature), a single operator application, and the full GMRES
+// solve, and the results are emitted as BENCH_capgrading.json so the
+// solver-cost trajectory is recorded across PRs.
+func BenchmarkCappedSolve(b *testing.B) {
+	type caseOut struct {
+		Grade       int     `json:"grade"`
+		Nodes       int     `json:"nodes"`
+		PrecomputeS float64 `json:"precompute_s"`
+		MatvecS     float64 `json:"matvec_s"`
+		SolveS      float64 `json:"solve_s"`
+		Iters       int     `json:"iters"`
+		Residual    float64 `json:"residual"`
+	}
+	prm := bie.Params{QuadNodes: 5, Eta: 1, ExtrapOrder: 3, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.6}
+	run := func(lv int) caseOut {
+		cc := vessel.CappedTubeChannel(6, 4, 1, 6, 2.5, lv, 0.5)
+		s := bie.NewSurface(forest.NewUniform(cc.Roots, 0), prm)
+		bc := cc.Inflow(s, math.Pi/2)
+		out := caseOut{Grade: lv, Nodes: s.NumNodes()}
+		par.Run(1, par.SKX(), func(c *par.Comm) {
+			t0 := time.Now()
+			sv := bie.NewSolver(c, s, bie.ModeLocal, bie.FMMConfig{DirectBelow: 1 << 40})
+			out.PrecomputeS = time.Since(t0).Seconds()
+			t1 := time.Now()
+			sv.Apply(c, bc)
+			out.MatvecS = time.Since(t1).Seconds()
+			t2 := time.Now()
+			_, res := sv.Solve(c, bc, nil, 1e-6, 45)
+			out.SolveS = time.Since(t2).Seconds()
+			out.Iters = res.Iterations
+			out.Residual = res.Residual
+		})
+		return out
+	}
+	for i := 0; i < b.N; i++ {
+		ungraded := run(-1)
+		graded := run(2)
+		b.ReportMetric(graded.PrecomputeS/math.Max(ungraded.PrecomputeS, 1e-12), "graded/ungraded-precompute")
+		b.ReportMetric(graded.SolveS/math.Max(ungraded.SolveS, 1e-12), "graded/ungraded-solve")
+		b.ReportMetric(graded.Residual, "graded-residual")
+		if i == b.N-1 {
+			blob, err := json.MarshalIndent(map[string]any{
+				"benchmark": "BenchmarkCappedSolve",
+				"geometry":  "capped-tube r=1 L=6 (order 6, NV 4)",
+				"note":      "equal accuracy target: GMRES relative residual 1e-6",
+				"cases":     []caseOut{ungraded, graded},
+			}, "", "  ")
+			if err == nil {
+				_ = os.WriteFile("BENCH_capgrading.json", append(blob, '\n'), 0o644)
+			}
+		}
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
 	blend := flag.Float64("blend", 0, "junction blend width in units of the smallest radius (0 = default)")
 	legacy := flag.Bool("legacy-junctions", false, "use the legacy overlapping-capsule junction model")
+	capGrading := flag.Int("cap-grading", 0, "edge-graded rim levels at terminal caps and collars (0 = default, -1 = ungraded legacy)")
 	volCheck := flag.Bool("volcheck", false, "compute the order-converged junction volume with error bars (extra geometry builds)")
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		Depth: *depth, Rows: *rows, Cols: *cols,
 		NetworkPath:   *load,
 		JunctionBlend: *blend, LegacyJunctions: *legacy,
+		CapGrading: *capGrading,
 	}
 
 	if *save != "" {

@@ -24,6 +24,7 @@ func main() {
 	level := flag.Int("level", 0, "vessel refinement level")
 	order := flag.Int("order", 4, "cell spherical-harmonic order")
 	hct := flag.Float64("hct", 0, "inlet haematocrit (network scenarios; 0 = default)")
+	capGrading := flag.Int("cap-grading", 0, "edge-graded rim levels for capped geometries (0 = default, -1 = ungraded legacy)")
 	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every k steps (needs -out)")
 	noResume := flag.Bool("no-resume", false, "ignore an existing checkpoint")
@@ -38,6 +39,7 @@ func main() {
 
 	b, err := rbcflow.BuildScenario(*name, rbcflow.ScenarioParams{
 		SphOrder: *order, Level: *level, MaxCells: *cells, Hct: *hct,
+		CapGrading: *capGrading,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,170 @@
+package bie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rbcflow/internal/patch"
+	"rbcflow/internal/quadrature"
+)
+
+// bruteDL integrates the double-layer velocity of patch pp with density phi
+// (coarse-grid nodal values, interpolated) at target x using an m×m
+// composite tensor Gauss-Legendre rule — the slow reference the adaptive
+// rule is checked against.
+func bruteDL(pp *patch.Patch, qc int, phi []float64, x [3]float64, panels, q int) [3]float64 {
+	nodes, w1 := quadrature.GaussLegendre(q)
+	cNodes, _ := quadrature.GaussLegendre(qc)
+	cBW := quadrature.BaryWeights(cNodes)
+	var out [3]float64
+	h := 2.0 / float64(panels)
+	for pu := 0; pu < panels; pu++ {
+		for pv := 0; pv < panels; pv++ {
+			u0, v0 := -1+h*float64(pu), -1+h*float64(pv)
+			for i := 0; i < q; i++ {
+				u := u0 + h*(nodes[i]+1)/2
+				cu := quadrature.LagrangeCoeffs(cNodes, cBW, u)
+				for j := 0; j < q; j++ {
+					v := v0 + h*(nodes[j]+1)/2
+					cv := quadrature.LagrangeCoeffs(cNodes, cBW, v)
+					pos, du, dv := pp.Derivs(u, v)
+					cr := patch.Cross(du, dv)
+					jac := patch.Norm(cr)
+					n := patch.Normalize(cr)
+					w := jac * w1[i] * w1[j] * h * h / 4
+					var ph [3]float64
+					for a := 0; a < qc; a++ {
+						for b := 0; b < qc; b++ {
+							c := cu[a] * cv[b]
+							k := 3 * (a*qc + b)
+							ph[0] += c * phi[k]
+							ph[1] += c * phi[k+1]
+							ph[2] += c * phi[k+2]
+						}
+					}
+					rx, ry, rz := x[0]-pos[0], x[1]-pos[1], x[2]-pos[2]
+					r2 := rx*rx + ry*ry + rz*rz
+					inv := 1 / math.Sqrt(r2)
+					inv5 := inv * inv * inv * inv * inv
+					c := -3 / (4 * math.Pi) * inv5 * (rx*n[0] + ry*n[1] + rz*n[2]) * (rx*ph[0] + ry*ph[1] + rz*ph[2]) * w
+					out[0] += c * rx
+					out[1] += c * ry
+					out[2] += c * rz
+				}
+			}
+		}
+	}
+	return out
+}
+
+// curvedPatch is a gently curved non-symmetric test surface.
+func curvedPatch(order int) *patch.Patch {
+	return patch.FromFunc(order, func(u, v float64) [3]float64 {
+		return [3]float64{u, v, 0.3*u*u - 0.2*u*v + 0.15*v*v*v}
+	})
+}
+
+func testDensity(qc int) []float64 {
+	nodes, _ := quadrature.GaussLegendre(qc)
+	phi := make([]float64, 3*qc*qc)
+	for i := 0; i < qc; i++ {
+		for j := 0; j < qc; j++ {
+			k := 3 * (i*qc + j)
+			phi[k] = 1 + 0.5*nodes[i] - 0.3*nodes[j]
+			phi[k+1] = nodes[i] * nodes[j]
+			phi[k+2] = 0.7 - nodes[j]*nodes[j]
+		}
+	}
+	return phi
+}
+
+// TestAdaptiveMatchesBruteForce checks the adaptive rule against the slow
+// composite reference at targets from comfortably far to very close to the
+// panel — including closer than any node spacing, the regime that breaks
+// the seed-era scheme.
+func TestAdaptiveMatchesBruteForce(t *testing.T) {
+	const qc = 5
+	pp := curvedPatch(8)
+	phi := testDensity(qc)
+	ac := newAdaptiveCtx(qc)
+	// Distances bounded below by the reference rule's own panel size
+	// (2/64): closer targets would need an adaptively refined reference,
+	// which is what is under test.
+	for _, d := range []float64{1.0, 0.3, 0.08} {
+		x := [3]float64{0.37, -0.22, 0.3*0.37*0.37 + 0.2*0.37*0.22 + d}
+		x[2] = 0.3*0.37*0.37 - 0.2*0.37*(-0.22) + 0.15*math.Pow(-0.22, 3) + d
+		var got [3]float64
+		ac.dlVelocity(got[:], pp, x, phi)
+		want := bruteDL(pp, qc, phi, x, 64, 12)
+		var err, ref float64
+		for c := 0; c < 3; c++ {
+			err = math.Max(err, math.Abs(got[c]-want[c]))
+			ref = math.Max(ref, math.Abs(want[c]))
+		}
+		if err > 2e-5*(1+ref) {
+			t.Fatalf("distance %g: adaptive %v vs reference %v (err %g)", d, got, want, err)
+		}
+	}
+}
+
+// TestAdaptiveBlockConsistentWithVelocity: the precomputed correction block
+// applied to the density equals the direct velocity evaluation.
+func TestAdaptiveBlockConsistentWithVelocity(t *testing.T) {
+	const qc = 5
+	pp := curvedPatch(8)
+	phi := testDensity(qc)
+	ac := newAdaptiveCtx(qc)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		x := [3]float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, 0.6 + rng.Float64()}
+		m := make([]float64, 3*3*qc*qc)
+		ac.dlBlock(m, pp, x)
+		var fromBlock [3]float64
+		for a := 0; a < 3; a++ {
+			row := m[a*3*qc*qc : (a+1)*3*qc*qc]
+			var acc float64
+			for i, v := range row {
+				acc += v * phi[i]
+			}
+			fromBlock[a] = acc
+		}
+		var direct [3]float64
+		ac.dlVelocity(direct[:], pp, x, phi)
+		for c := 0; c < 3; c++ {
+			if math.Abs(fromBlock[c]-direct[c]) > 1e-11 {
+				t.Fatalf("trial %d: block %v vs direct %v", trial, fromBlock, direct)
+			}
+		}
+	}
+}
+
+// TestAdaptiveOnSurfacePV: for a target ON the patch, the adaptive rule
+// computes the weakly singular principal value; refining the reference
+// toward the same value (excluding a shrinking neighbourhood of the
+// singular point) must agree.
+func TestAdaptiveOnSurfacePV(t *testing.T) {
+	const qc = 5
+	pp := curvedPatch(8)
+	phi := testDensity(qc)
+	ac := newAdaptiveCtx(qc)
+	nodes, _ := quadrature.GaussLegendre(qc)
+	// Target at a coarse node (the production configuration).
+	x := pp.Eval(nodes[2], nodes[3])
+	var pv [3]float64
+	ac.dlVelocity(pv[:], pp, x, phi)
+	// The PV of the Stokes double layer over a smooth open patch is finite
+	// and dominated by the curvature term; sanity-check against a
+	// moderately fine exclusion-free composite rule, whose error near the
+	// singularity is itself O(h): agreement to a few percent of the
+	// density scale is the achievable bound for the reference, while the
+	// adaptive value must be finite and stable under rule order.
+	ref := bruteDL(pp, qc, phi, x, 96, 8)
+	var diff float64
+	for c := 0; c < 3; c++ {
+		diff = math.Max(diff, math.Abs(pv[c]-ref[c]))
+	}
+	if math.IsNaN(diff) || diff > 0.05 {
+		t.Fatalf("on-surface PV %v vs composite reference %v (diff %g)", pv, ref, diff)
+	}
+}

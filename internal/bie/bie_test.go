@@ -37,6 +37,7 @@ func testParams() Params {
 func TestSurfaceWeightsSumToArea(t *testing.T) {
 	f := cubeSphere(8, 1, 0)
 	s := NewSurface(f, testParams())
+	s.EnsureFine()
 	var coarse, fine float64
 	for _, w := range s.W {
 		coarse += w
@@ -71,6 +72,7 @@ func TestSurfaceNormalsOutward(t *testing.T) {
 func TestUpsampleDensityExactForPolynomials(t *testing.T) {
 	f := cubeSphere(8, 1, 0)
 	s := NewSurface(f, testParams())
+	s.EnsureFine()
 	// A polynomial density in the parameter coordinates is reproduced
 	// exactly by parameter-space upsampling.
 	q := s.P.QuadNodes
@@ -314,5 +316,76 @@ func TestGMRESIterationsBounded(t *testing.T) {
 			t.Fatalf("GMRES residual after 30-iteration cap: %g", res.Residual)
 		}
 		t.Logf("GMRES: %d iters, residual %g", res.Iterations, res.Residual)
+	})
+}
+
+// TestShortLaneSolveAndEval is the -short-friendly end-to-end pass over the
+// evaluation API: a light interior Dirichlet solve on the coarse sphere,
+// interior velocity (far and near-wall, through the closest-point path),
+// on-surface velocity at off-node points, and the surface bookkeeping
+// helpers the geometry layers lean on.
+func TestShortLaneSolveAndEval(t *testing.T) {
+	f := cubeSphere(8, 1, 0)
+	s := NewSurface(f, Params{QuadNodes: 5, Eta: 1, ExtrapOrder: 3, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.8})
+	an := newAnalyticStokes(1)
+	if got := s.NumNodes() * 3; got != s.NumUnknowns() {
+		t.Fatalf("unknowns %d vs nodes %d", s.NumUnknowns(), s.NumNodes())
+	}
+	if v := s.EnclosedVolume(); math.Abs(v-4*math.Pi/3) > 2e-2 {
+		t.Fatalf("sphere volume %g", v)
+	}
+	// Net flux of a radial unit field over the sphere is the area.
+	g := make([]float64, s.NumUnknowns())
+	for k, n := range s.Nrm {
+		copy(g[3*k:3*k+3], n[:])
+	}
+	if fl := s.NetFlux(g, nil); math.Abs(fl-4*math.Pi) > 0.1 {
+		t.Fatalf("radial net flux %g", fl)
+	}
+	if w := s.ExtrapolateTo(0.1); len(w) != s.P.ExtrapOrder+1 {
+		t.Fatalf("ExtrapolateTo weights %d", len(w))
+	}
+	par.Run(1, par.SKX(), func(c *par.Comm) {
+		sv := NewSolver(c, s, ModeLocal, FMMConfig{DirectBelow: 1 << 40})
+		rhs := make([]float64, s.NumUnknowns())
+		for k := range s.Pts {
+			gk := an.At(s.Pts[k])
+			copy(rhs[3*k:3*k+3], gk[:])
+		}
+		phi, res := sv.Solve(c, rhs, nil, 1e-7, 40)
+		if res.Residual > 1e-4 {
+			t.Fatalf("residual %g", res.Residual)
+		}
+		if lr := sv.LastGMRES(); lr.Iterations != res.Iterations {
+			t.Fatalf("LastGMRES mismatch")
+		}
+		// Interior targets: one far from the wall, one near it (closest-point
+		// data routes it through the adaptive near path).
+		targets := [][3]float64{{0.1, -0.2, 0.1}, {0.0, 0.0, 0.9}}
+		var dEps float64
+		for _, lm := range s.LMax {
+			dEps = math.Max(dEps, s.P.NearFactor*lm)
+		}
+		cls := s.F.ClosestPoints(c, targets, dEps)
+		u := sv.EvalVelocity(c, phi, targets, cls)
+		for i, x := range targets {
+			want := an.At(x)
+			for d := 0; d < 3; d++ {
+				if math.Abs(u[3*i+d]-want[d]) > 2e-2*(1+math.Abs(want[d])) {
+					t.Fatalf("target %d dim %d: %g want %g", i, d, u[3*i+d], want[d])
+				}
+			}
+		}
+		// On-surface velocity at off-node points reproduces the BC.
+		for _, pid := range []int{0, 3} {
+			x := s.F.Patches[pid].Eval(0.37, -0.21)
+			got := sv.OnSurfaceVelocity(c, phi, pid, 0.37, -0.21)
+			want := an.At(x)
+			for d := 0; d < 3; d++ {
+				if math.Abs(got[d]-want[d]) > 3e-2*(1+math.Abs(want[d])) {
+					t.Fatalf("on-surface pid %d dim %d: %g want %g", pid, d, got[d], want[d])
+				}
+			}
+		}
 	})
 }

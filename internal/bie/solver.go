@@ -8,6 +8,7 @@ import (
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/la"
 	"rbcflow/internal/par"
+	"rbcflow/internal/quadrature"
 )
 
 // Mode selects how the double-layer operator is applied.
@@ -36,6 +37,7 @@ type Solver struct {
 	Mode Mode
 
 	eval *fmm.Evaluator
+	ac   *adaptiveCtx
 
 	// Rank-local data (fixed at construction for a given comm geometry).
 	rank, size   int
@@ -59,7 +61,7 @@ type FMMConfig struct {
 // local correction operator when mode == ModeLocal (possible because Γ is
 // rigid; amortized over every time step of the simulation).
 func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
-	sv := &Solver{S: s, Mode: mode, rank: c.Rank(), size: c.Size()}
+	sv := &Solver{S: s, Mode: mode, rank: c.Rank(), size: c.Size(), ac: newAdaptiveCtx(s.P.QuadNodes)}
 	sv.patchLo, sv.patchHi = s.F.OwnerRange(sv.size, sv.rank)
 	sv.nodeLo, sv.nodeHi = sv.patchLo*s.NQ, sv.patchHi*s.NQ
 	sv.eval = fmm.NewEvaluator(fmm.Config{
@@ -69,16 +71,19 @@ func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
 		DirectBelow: fc.DirectBelow,
 	})
 
-	// Check points for every owned (on-surface) node.
-	p := s.P.ExtrapOrder
-	nOwned := sv.nodeHi - sv.nodeLo
-	sv.checkPts = make([][3]float64, nOwned*(p+1))
-	for k := 0; k < nOwned; k++ {
-		g := sv.nodeLo + k
-		cps := s.CheckPoints(s.Pts[g], s.Nrm[g], s.L[s.PatchOf(g)])
-		copy(sv.checkPts[k*(p+1):(k+1)*(p+1)], cps)
+	if mode == ModeGlobal {
+		// Only the global mode's extrapolation reads the fine grid and the
+		// check points; the local mode's adaptive quadrature needs neither.
+		s.EnsureFine()
+		p := s.P.ExtrapOrder
+		nOwned := sv.nodeHi - sv.nodeLo
+		sv.checkPts = make([][3]float64, nOwned*(p+1))
+		for k := 0; k < nOwned; k++ {
+			g := sv.nodeLo + k
+			cps := s.CheckPoints(s.Pts[g], s.Nrm[g], s.L[s.PatchOf(g)])
+			copy(sv.checkPts[k*(p+1):(k+1)*(p+1)], cps)
+		}
 	}
-
 	if mode == ModeLocal {
 		sv.precomputeCorrections()
 	}
@@ -87,17 +92,44 @@ func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
 }
 
 // nearPatches returns the patches within their own near-zone distance of x;
-// selfPid (if >= 0) is always included without a distance test.
+// selfPid (if >= 0) is always included without a distance test. The
+// near-zone radius scales with the patch's LONGEST side, not sqrt(area):
+// for the strongly anisotropic panels of edge-graded rim stacks the coarse
+// rule's node spacing — and so the distance at which it stops resolving a
+// target — is set by the long dimension.
+//
+// The test is three-stage: a cached bounding-box rejection, an
+// early-accept when one of the patch's own quadrature nodes is already
+// within range (the nodes lie ON the patch, so the true distance can only
+// be smaller), and the Newton closest-point solve only in the remaining
+// gray zone. Edge-graded rim stacks put many panels near every rim target,
+// so the cheap stages carry almost all of the traffic.
 func (s *Surface) nearPatches(x [3]float64, selfPid int) []int {
+	s.bboxOnce.Do(s.fillBBoxes)
 	var out []int
 	for j, pp := range s.F.Patches {
 		if j == selfPid {
 			out = append(out, j)
 			continue
 		}
-		dEps := s.P.NearFactor * s.L[j]
-		lo, hi := pp.BBox(0)
-		if boxDist(x, lo, hi) > dEps {
+		dEps := s.P.NearFactor * s.LMax[j]
+		if boxDist(x, s.bboxLo[j], s.bboxHi[j]) > dEps {
+			continue
+		}
+		nodeDist := math.Inf(1)
+		for k := j * s.NQ; k < (j+1)*s.NQ; k++ {
+			if d := dist3(s.Pts[k], x); d < nodeDist {
+				nodeDist = d
+			}
+		}
+		if nodeDist <= dEps {
+			out = append(out, j)
+			continue
+		}
+		// The coarse node grid covers the patch to within about half its
+		// node spacing; beyond that slack the true distance cannot reach
+		// dEps.
+		if nodeDist > dEps+0.35*s.LMax[j] {
 			continue
 		}
 		if _, _, _, dist := pp.ClosestPoint(x); dist <= dEps {
@@ -105,6 +137,15 @@ func (s *Surface) nearPatches(x [3]float64, selfPid int) []int {
 		}
 	}
 	return out
+}
+
+func (s *Surface) fillBBoxes() {
+	np := s.F.NumPatches()
+	s.bboxLo = make([][3]float64, np)
+	s.bboxHi = make([][3]float64, np)
+	for j, pp := range s.F.Patches {
+		s.bboxLo[j], s.bboxHi[j] = pp.BBox(0)
+	}
 }
 
 func boxDist(x [3]float64, lo, hi [3]float64) float64 {
@@ -119,21 +160,19 @@ func boxDist(x [3]float64, lo, hi [3]float64) float64 {
 	return math.Sqrt(d2)
 }
 
-// precomputeCorrections assembles, for every owned target node, the combined
-// correction blocks  −W(x)·ϕ_near + Σ_i e_i W^up(c_i)·U·ϕ_near
-// (paper Eqs. 3.1–3.4 restricted to near patches).
+// precomputeCorrections assembles, for every owned target node and every
+// near patch j, the combined correction block −W(x)·ϕ_j + A_j(x)·ϕ_j, where
+// A_j is the adaptive singular/near-singular quadrature of adaptive.go (the
+// own patch's weakly singular PV integral, a proper integral for every
+// other near patch). The ½ϕ interior jump is added analytically in Apply.
 func (sv *Solver) precomputeCorrections() {
 	s := sv.S
-	p := s.P.ExtrapOrder
 	nq := s.NQ
-	nqf := s.NQF
 	sv.corr = make([][]corrBlock, sv.nodeHi-sv.nodeLo)
-	fineBlock := make([]float64, 3*3*nqf)
 	for k := 0; k < sv.nodeHi-sv.nodeLo; k++ {
 		g := sv.nodeLo + k
 		x := s.Pts[g]
 		own := s.PatchOf(g)
-		cps := sv.checkPts[k*(p+1) : (k+1)*(p+1)]
 		for _, j := range s.nearPatches(x, own) {
 			m := make([]float64, 3*3*nq)
 			// −(coarse direct) part.
@@ -141,19 +180,8 @@ func (sv *Solver) precomputeCorrections() {
 				idx := j*nq + mm
 				addDLBlock(m, 3*nq, mm, x, s.Pts[idx], s.Nrm[idx], -s.W[idx])
 			}
-			// +Σ_i e_i (fine direct at check points), then compose with the
-			// upsampling operator.
-			for i := range fineBlock {
-				fineBlock[i] = 0
-			}
-			for ci, cp := range cps {
-				e := s.ExtrapW[ci]
-				for mf := 0; mf < nqf; mf++ {
-					idx := j*nqf + mf
-					addDLBlock(fineBlock, 3*nqf, mf, cp, s.FinePts[idx], s.FineNrm[idx], e*s.FineW[idx])
-				}
-			}
-			composeWithUp(m, fineBlock, s.Up, nq, nqf)
+			// +(adaptive quadrature) part.
+			sv.ac.dlBlock(m, s.F.Patches[j], x)
 			sv.corr[k] = append(sv.corr[k], corrBlock{pid: j, m: m})
 		}
 	}
@@ -176,30 +204,6 @@ func addDLBlock(m []float64, stride, mm int, x, y, n [3]float64, w float64) {
 		row := m[a*stride:]
 		for b := 0; b < 3; b++ {
 			row[3*mm+b] += c * r[a] * r[b]
-		}
-	}
-}
-
-// composeWithUp adds fine·(U ⊗ I₃) into m: m[a][3mc+b] += Σ_mf fine[a][3mf+b]·Up[mf][mc].
-func composeWithUp(m, fine []float64, up *la.Dense, nq, nqf int) {
-	for a := 0; a < 3; a++ {
-		frow := fine[a*3*nqf:]
-		mrow := m[a*3*nq:]
-		for mf := 0; mf < nqf; mf++ {
-			urow := up.Row(mf)
-			f0, f1, f2 := frow[3*mf], frow[3*mf+1], frow[3*mf+2]
-			if f0 == 0 && f1 == 0 && f2 == 0 {
-				continue
-			}
-			for mc := 0; mc < nq; mc++ {
-				u := urow[mc]
-				if u == 0 {
-					continue
-				}
-				mrow[3*mc] += u * f0
-				mrow[3*mc+1] += u * f1
-				mrow[3*mc+2] += u * f2
-			}
 		}
 	}
 }
@@ -249,6 +253,11 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 					dst[a] += acc
 				}
 			}
+			// The adaptive corrections compute the principal value; the
+			// interior-limit jump is added analytically.
+			dst[0] += 0.5 * phiLocal[3*k]
+			dst[1] += 0.5 * phiLocal[3*k+1]
+			dst[2] += 0.5 * phiLocal[3*k+2]
 		}
 	} else {
 		// Global mode: upsample owned density, evaluate at check points via
@@ -284,11 +293,12 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 	}
 
-	// + N ϕ. The ½ϕ jump of (1/2 I + D)ϕ is already contained in the
+	// + N ϕ. In ModeGlobal the ½ϕ jump of (1/2 I + D)ϕ is contained in the
 	// extrapolated interior limit (check points lie inside the fluid, and
-	// the near-patch extrapolation captures the jump): for constant ϕ₀ the
-	// identity Dϕ₀ = ϕ₀ inside makes the operator value exactly ϕ₀, which is
-	// (1/2 + 1/2)ϕ₀ in the paper's PV notation.
+	// the extrapolation captures the jump); in ModeLocal it was added
+	// explicitly above. Either way, for constant ϕ₀ the identity Dϕ₀ = ϕ₀
+	// inside makes the operator value exactly ϕ₀, which is (1/2 + 1/2)ϕ₀ in
+	// the paper's PV notation.
 	for k := 0; k < nOwned; k++ {
 		g := sv.nodeLo + k
 		n := s.Nrm[g]
@@ -356,95 +366,75 @@ func (sv *Solver) EvalVelocity(c *par.Comm, phiLocal []float64, targets [][3]flo
 	c.SetLabel(prev)
 	phiAll, _ := par.AllgathervFlat(c, phiLocal)
 
-	phiF := make([]float64, 3*s.NQF)
 	for ti, x := range targets {
 		if ti >= len(cls) || cls[ti].PatchID < 0 {
 			continue
 		}
 		cl := cls[ti]
-		L := s.L[cl.PatchID]
-		if cl.Dist > s.P.NearFactor*L {
+		if cl.Dist > s.P.NearFactor*s.LMax[cl.PatchID] {
 			continue
 		}
-		// Fluid-side check: target must be on the −n side of Γ.
-		n := s.F.Patches[cl.PatchID].Normal(cl.U, cl.V)
-		sideDot := (cl.Y[0]-x[0])*n[0] + (cl.Y[1]-x[1])*n[1] + (cl.Y[2]-x[2])*n[2]
-		if sideDot < 0 {
-			continue
-		}
-		cps := s.CheckPoints(cl.Y, n, L)
-		ew := s.ExtrapolateTo(cl.Dist / L)
 		dst := u[3*ti : 3*ti+3]
 		for _, j := range s.nearPatches(x, cl.PatchID) {
-			// Subtract the inaccurate coarse contribution of patch j.
+			// Subtract the inaccurate coarse contribution of patch j, then
+			// add the adaptive near-singular quadrature. Off-surface targets
+			// sit at positive distance from every patch, so every
+			// contribution is a proper integral — no jump term, and no
+			// smoothness assumption across rims (see adaptive.go).
 			for mm := 0; mm < nq; mm++ {
 				idx := j*nq + mm
 				kernels.DoubleLayerVel(dst, x, s.Pts[idx], s.Nrm[idx],
 					phiAll[idx*3:idx*3+3], -s.W[idx])
 			}
-			// Add the extrapolated fine contribution.
-			s.UpsampleDensity(phiAll[j*3*nq:(j+1)*3*nq], phiF)
-			for ci, cp := range cps {
-				e := ew[ci]
-				var uc [3]float64
-				for mf := 0; mf < s.NQF; mf++ {
-					idx := j*s.NQF + mf
-					kernels.DoubleLayerVel(uc[:], cp, s.FinePts[idx], s.FineNrm[idx],
-						phiF[3*mf:3*mf+3], s.FineW[idx])
-				}
-				dst[0] += e * uc[0]
-				dst[1] += e * uc[1]
-				dst[2] += e * uc[2]
-			}
+			sv.ac.dlVelocity(dst, s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
 		}
 	}
 	return u
 }
 
-// OnSurfaceVelocity evaluates Dϕ + ϕ/2 + Nϕ... no: it evaluates the flow
-// velocity limit at arbitrary on-surface points (different from the Nyström
-// nodes) for verification (Fig. 9): u(x) = extrapolated Dϕ(x) + ϕ(x)/2,
-// where ϕ(x) is interpolated from the patch's coarse grid.
+// OnSurfaceVelocity evaluates the flow velocity limit at arbitrary
+// on-surface points (different from the Nyström nodes) for verification
+// (Fig. 9): u(x) = PV Dϕ(x) + ϕ(x)/2, where the principal value is computed
+// by the adaptive singular quadrature and ϕ(x) is interpolated from the
+// patch's coarse grid. The N-term is part of the operator, not of the
+// represented velocity.
 func (sv *Solver) OnSurfaceVelocity(c *par.Comm, phiLocal []float64, pid int, uu, vv float64) [3]float64 {
 	s := sv.S
 	nq := s.NQ
 	pp := s.F.Patches[pid]
 	x := pp.Eval(uu, vv)
-	n := pp.Normal(uu, vv)
 	phiAll, _ := par.AllgathervFlat(c, phiLocal)
 
-	// Interface limit = Dϕ(x⁻) evaluated by the unified scheme with t = 0,
-	// which already includes the jump term; reuse EvalVelocity mechanics.
-	cl := forest.Closest{PatchID: pid, U: uu, V: vv, Y: x, Dist: 0}
-	// Build a one-target local call: coarse FMM replaced by direct coarse sum
-	// over every patch (verification-scale geometry).
+	// Coarse direct sum over every patch (verification-scale geometry), with
+	// near patches replaced by the adaptive quadrature.
 	var u [3]float64
 	for k, y := range s.Pts {
 		kernels.DoubleLayerVel(u[:], x, y, s.Nrm[k], phiAll[3*k:3*k+3], s.W[k])
 	}
-	phiF := make([]float64, 3*s.NQF)
-	cps := s.CheckPoints(cl.Y, n, s.L[pid])
-	ew := s.ExtrapW
 	for _, j := range s.nearPatches(x, pid) {
 		for mm := 0; mm < nq; mm++ {
 			idx := j*nq + mm
 			kernels.DoubleLayerVel(u[:], x, s.Pts[idx], s.Nrm[idx], phiAll[idx*3:idx*3+3], -s.W[idx])
 		}
-		s.UpsampleDensity(phiAll[j*3*nq:(j+1)*3*nq], phiF)
-		for ci, cp := range cps {
-			e := ew[ci]
-			var uc [3]float64
-			for mf := 0; mf < s.NQF; mf++ {
-				idx := j*s.NQF + mf
-				kernels.DoubleLayerVel(uc[:], cp, s.FinePts[idx], s.FineNrm[idx], phiF[3*mf:3*mf+3], s.FineW[idx])
-			}
-			u[0] += e * uc[0]
-			u[1] += e * uc[1]
-			u[2] += e * uc[2]
+		sv.ac.dlVelocity(u[:], s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
+	}
+	// Interior limit = PV + ϕ(x)/2 with ϕ interpolated on the owning patch.
+	nodes := s.Nodes1D()
+	bw := quadrature.BaryWeights(nodes)
+	cu := quadrature.LagrangeCoeffs(nodes, bw, uu)
+	cv := quadrature.LagrangeCoeffs(nodes, bw, vv)
+	q := s.P.QuadNodes
+	for i := 0; i < q; i++ {
+		if cu[i] == 0 {
+			continue
+		}
+		for j := 0; j < q; j++ {
+			cij := cu[i] * cv[j]
+			k := pid*nq + i*q + j
+			u[0] += 0.5 * cij * phiAll[3*k]
+			u[1] += 0.5 * cij * phiAll[3*k+1]
+			u[2] += 0.5 * cij * phiAll[3*k+2]
 		}
 	}
-	// The extrapolated limit of Dϕ from inside already equals the interface
-	// value (1/2ϕ + PV Dϕ); no extra jump term is added. The N-term is part
-	// of the operator, not of the represented velocity.
 	return u
 }

@@ -17,6 +17,7 @@ package bie
 
 import (
 	"math"
+	"sync"
 
 	"rbcflow/internal/la"
 	"rbcflow/internal/patch"
@@ -96,10 +97,16 @@ type Surface struct {
 	Nrm [][3]float64
 	W   []float64 // area-weighted quadrature weights
 	L   []float64 // per-patch size sqrt(area)
+	// LMax is the per-patch longest side length (arc length along the node
+	// grid). For isotropic patches LMax ≈ L; for the anisotropic panels of
+	// edge-graded rim stacks it is the scale that near-zone tests must use
+	// (the coarse rule's node spacing follows the long dimension).
+	LMax []float64
 	// UV[k] are the parameter coordinates of coarse node k within its patch.
 	UV [][2]float64
 
-	// Fine discretization (patch-major, NQF nodes per patch).
+	// Fine discretization (patch-major, NQF nodes per patch). Built
+	// lazily by EnsureFine — only the ModeGlobal operator reads it.
 	FinePts [][3]float64
 	FineNrm [][3]float64
 	FineW   []float64
@@ -111,6 +118,13 @@ type Surface struct {
 	// ExtrapW are the weights extrapolating check-point values to t = 0
 	// (on-surface targets); length ExtrapOrder+1.
 	ExtrapW []float64
+
+	// Lazy construction guards.
+	fineOnce sync.Once
+	// Cached per-patch bounding boxes for the near-zone tests (lazy).
+	bboxOnce sync.Once
+	bboxLo   [][3]float64
+	bboxHi   [][3]float64
 }
 
 // NewSurface discretizes the forest with the given parameters.
@@ -128,6 +142,7 @@ func NewSurface(f *forest.Forest, p Params) *Surface {
 	s.Nrm = make([][3]float64, np*s.NQ)
 	s.W = make([]float64, np*s.NQ)
 	s.L = make([]float64, np)
+	s.LMax = make([]float64, np)
 	s.UV = make([][2]float64, np*s.NQ)
 	for pid, pp := range f.Patches {
 		s.L[pid] = pp.Size()
@@ -143,54 +158,24 @@ func NewSurface(f *forest.Forest, p Params) *Surface {
 				s.UV[k] = [2]float64{nodes[i], nodes[j]}
 			}
 		}
-	}
-
-	// Fine discretization: subdivide each patch Eta times; sample each
-	// sub-patch on the same CC grid.
-	s.FinePts = make([][3]float64, np*s.NQF)
-	s.FineNrm = make([][3]float64, np*s.NQF)
-	s.FineW = make([]float64, np*s.NQF)
-	subRanges := subdomainRanges(p.Eta)
-	for pid, pp := range f.Patches {
-		for si, sr := range subRanges {
-			// Sub-patch geometry (exact polynomial resampling).
-			sp := patch.FromFunc(pp.Q, func(u, v float64) [3]float64 {
-				uu := sr[0] + (sr[1]-sr[0])*(u+1)/2
-				vv := sr[2] + (sr[3]-sr[2])*(v+1)/2
-				return pp.Eval(uu, vv)
-			})
-			for i := 0; i < q; i++ {
-				for j := 0; j < q; j++ {
-					k := pid*s.NQF + si*s.NQ + i*q + j
-					pos, du, dv := sp.Derivs(nodes[i], nodes[j])
-					cr := patch.Cross(du, dv)
-					s.FinePts[k] = pos
-					s.FineNrm[k] = patch.Normalize(cr)
-					s.FineW[k] = patch.Norm(cr) * w1[i] * w1[j]
-				}
-			}
-		}
-	}
-
-	// Upsampling operator: coarse patch nodes -> fine sub-patch nodes, by
-	// polynomial interpolation in parameter space (paper §3.1 step 1).
-	bw := quadrature.BaryWeights(nodes)
-	s.Up = la.NewDense(s.NQF, s.NQ)
-	for si, sr := range subRanges {
+		// Longest side: max arc length along any node-grid row or column
+		// (the GL grid stops short of the patch edge; 1.2 covers the
+		// overhang at the orders used here).
+		var uLen, vLen float64
 		for i := 0; i < q; i++ {
-			uu := sr[0] + (sr[1]-sr[0])*(nodes[i]+1)/2
-			cu := quadrature.LagrangeCoeffs(nodes, bw, uu)
-			for j := 0; j < q; j++ {
-				vv := sr[2] + (sr[3]-sr[2])*(nodes[j]+1)/2
-				cv := quadrature.LagrangeCoeffs(nodes, bw, vv)
-				row := s.Up.Row(si*s.NQ + i*q + j)
-				for a := 0; a < q; a++ {
-					for b := 0; b < q; b++ {
-						row[a*q+b] = cu[a] * cv[b]
-					}
-				}
+			var lu, lv float64
+			for j := 0; j+1 < q; j++ {
+				a := s.Pts[pid*s.NQ+i*q+j]
+				b := s.Pts[pid*s.NQ+i*q+j+1]
+				lv += patch.Norm([3]float64{b[0] - a[0], b[1] - a[1], b[2] - a[2]})
+				av := s.Pts[pid*s.NQ+j*q+i]
+				bv := s.Pts[pid*s.NQ+(j+1)*q+i]
+				lu += patch.Norm([3]float64{bv[0] - av[0], bv[1] - av[1], bv[2] - av[2]})
 			}
+			uLen = math.Max(uLen, lu)
+			vLen = math.Max(vLen, lv)
 		}
+		s.LMax[pid] = 1.2 * math.Max(uLen, vLen)
 	}
 
 	// Extrapolation weights for on-surface targets (t = 0); check points at
@@ -201,6 +186,62 @@ func NewSurface(f *forest.Forest, p Params) *Surface {
 	}
 	s.ExtrapW = quadrature.ExtrapolationWeights(cp, 0)
 	return s
+}
+
+// EnsureFine builds the fine (upsampled) discretization and the
+// upsampling operator on first use. Only the ModeGlobal operator (the
+// paper's main scheme) reads them — the local mode's adaptive quadrature
+// replaced every other consumer — so the default path skips the
+// O(4^Eta·NQ) per-patch construction entirely. Idempotent; callers that
+// access FinePts/FineNrm/FineW/Up directly must call this first.
+func (s *Surface) EnsureFine() {
+	s.fineOnce.Do(func() {
+		q := s.P.QuadNodes
+		nodes, w1 := quadrature.GaussLegendre(q)
+		np := s.F.NumPatches()
+		// Fine discretization: subdivide each patch Eta times; sample each
+		// sub-patch on the same grid.
+		s.FinePts = make([][3]float64, np*s.NQF)
+		s.FineNrm = make([][3]float64, np*s.NQF)
+		s.FineW = make([]float64, np*s.NQF)
+		subRanges := subdomainRanges(s.P.Eta)
+		for pid, pp := range s.F.Patches {
+			for si, sr := range subRanges {
+				// Sub-patch geometry (exact polynomial resampling).
+				sp := pp.Subpatch(sr[0], sr[1], sr[2], sr[3])
+				for i := 0; i < q; i++ {
+					for j := 0; j < q; j++ {
+						k := pid*s.NQF + si*s.NQ + i*q + j
+						pos, du, dv := sp.Derivs(nodes[i], nodes[j])
+						cr := patch.Cross(du, dv)
+						s.FinePts[k] = pos
+						s.FineNrm[k] = patch.Normalize(cr)
+						s.FineW[k] = patch.Norm(cr) * w1[i] * w1[j]
+					}
+				}
+			}
+		}
+		// Upsampling operator: coarse patch nodes -> fine sub-patch nodes,
+		// by polynomial interpolation in parameter space (paper §3.1 step 1).
+		bw := quadrature.BaryWeights(nodes)
+		s.Up = la.NewDense(s.NQF, s.NQ)
+		for si, sr := range subRanges {
+			for i := 0; i < q; i++ {
+				uu := sr[0] + (sr[1]-sr[0])*(nodes[i]+1)/2
+				cu := quadrature.LagrangeCoeffs(nodes, bw, uu)
+				for j := 0; j < q; j++ {
+					vv := sr[2] + (sr[3]-sr[2])*(nodes[j]+1)/2
+					cv := quadrature.LagrangeCoeffs(nodes, bw, vv)
+					row := s.Up.Row(si*s.NQ + i*q + j)
+					for a := 0; a < q; a++ {
+						for b := 0; b < q; b++ {
+							row[a*q+b] = cu[a] * cv[b]
+						}
+					}
+				}
+			}
+		}
+	})
 }
 
 // subdomainRanges enumerates the parameter rectangles [u0,u1]×[v0,v1] of the
@@ -268,6 +309,8 @@ func (s *Surface) CheckPoints(y, n [3]float64, L float64) [][3]float64 {
 
 // ExtrapolateTo returns weights extrapolating check-point values to a target
 // at signed distance dist·L inside the fluid (dist in units of L; 0 on Γ).
+// Retained for the ModeGlobal compatibility path and external callers; the
+// local mode's near evaluation now uses the adaptive quadrature instead.
 func (s *Surface) ExtrapolateTo(dist float64) []float64 {
 	if dist == 0 {
 		return s.ExtrapW

@@ -201,9 +201,12 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		// (1c) u^Γ at the rank-local cell points (near-singular treatment
 		// for cells close to the wall).
 		c.SetLabel("BIE-solve")
+		// The search radius must cover the widest near zone, which scales
+		// with each patch's LONGEST side (anisotropic graded rim panels;
+		// see bie.Surface.LMax) — matching EvalVelocity's near gate.
 		dEps := 0.0
 		for pid := range s.Surf.F.Patches {
-			dEps = math.Max(dEps, s.Surf.P.NearFactor*s.Surf.L[pid])
+			dEps = math.Max(dEps, s.Surf.P.NearFactor*s.Surf.LMax[pid])
 		}
 		cls := s.Surf.F.ClosestPoints(c, srcPos, dEps)
 		uGammaCells = s.Solver.EvalVelocity(c, s.phi, srcPos, cls)

@@ -16,6 +16,7 @@ import (
 	"rbcflow/internal/morton"
 	"rbcflow/internal/par"
 	"rbcflow/internal/patch"
+	"rbcflow/internal/quadrature"
 )
 
 // Forest is a uniformly refined set of surface patches.
@@ -56,6 +57,94 @@ func NewUniform(roots []*patch.Patch, level int) *Forest {
 		}
 	}
 	return f
+}
+
+// EdgeGrade requests an edge-graded split of one root patch (see
+// patch.SplitEdgeGraded): the root is replaced by a stack of Levels+1
+// panels shrinking dyadically by Ratio toward Edge — the rim-adjacent
+// refinement of the edge-graded cap discretization.
+type EdgeGrade struct {
+	Root   int
+	Edge   patch.Edge
+	Levels int
+	Ratio  float64
+}
+
+// SplitRootsGraded applies edge-graded splits to the listed roots, leaving
+// every other root untouched. It returns the new root set (graded stacks
+// replace their root in place, preserving relative order) and origin, with
+// origin[i] the index in roots that produced out[i] — the hook callers use
+// to carry per-root metadata (patch kind, owning segment, cap identity)
+// through the split. A root may be graded toward several edges (a barrel
+// panel with rims at both ends, a cap corner panel); the grades combine
+// into one tensor-product panel family per root, so opposite-edge grades
+// share the coarse middle panel instead of re-splitting each other's fine
+// panels.
+func SplitRootsGraded(roots []*patch.Patch, grades []EdgeGrade) (out []*patch.Patch, origin []int) {
+	type axes struct{ uLo, uHi, vLo, vHi *EdgeGrade }
+	byRoot := map[int]*axes{}
+	for i := range grades {
+		g := &grades[i]
+		a := byRoot[g.Root]
+		if a == nil {
+			a = &axes{}
+			byRoot[g.Root] = a
+		}
+		switch g.Edge {
+		case patch.EdgeULo:
+			a.uLo = g
+		case patch.EdgeUHi:
+			a.uHi = g
+		case patch.EdgeVLo:
+			a.vLo = g
+		default:
+			a.vHi = g
+		}
+	}
+	for ri, r := range roots {
+		a := byRoot[ri]
+		if a == nil {
+			out = append(out, r)
+			origin = append(origin, ri)
+			continue
+		}
+		ub := axisBreakpoints(a.uLo, a.uHi)
+		vb := axisBreakpoints(a.vLo, a.vHi)
+		for i := 0; i+1 < len(ub); i++ {
+			for j := 0; j+1 < len(vb); j++ {
+				out = append(out, r.Subpatch(ub[i], ub[i+1], vb[j], vb[j+1]))
+				origin = append(origin, ri)
+			}
+		}
+	}
+	return out, origin
+}
+
+// axisBreakpoints merges the grades toward the two ends of one parameter
+// axis into a single breakpoint ladder on [-1, 1].
+func axisBreakpoints(lo, hi *EdgeGrade) []float64 {
+	switch {
+	case lo == nil && hi == nil:
+		return []float64{-1, 1}
+	case hi == nil:
+		return quadrature.GradedBreakpoints(-1, 1, lo.Levels, lo.Ratio)
+	case lo == nil:
+		return mirror(quadrature.GradedBreakpoints(-1, 1, hi.Levels, hi.Ratio))
+	default:
+		b := quadrature.GradedBreakpoints(-1, 0, lo.Levels, lo.Ratio)
+		m := mirror(quadrature.GradedBreakpoints(-1, 0, hi.Levels, hi.Ratio))
+		// b climbs from -1 to 0; m (the reflection) climbs from 0 to 1.
+		return append(b, m[1:]...)
+	}
+}
+
+// mirror reflects a breakpoint ladder about 0, reversing order.
+func mirror(b []float64) []float64 {
+	out := make([]float64, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = -v
+	}
+	return out
 }
 
 // RefineOnce returns a new forest with one more uniform level (the weak

@@ -217,3 +217,51 @@ func TestMeanPatchSize(t *testing.T) {
 		t.Fatalf("size ratio %v, want ~2", ratio)
 	}
 }
+
+func TestSplitRootsGraded(t *testing.T) {
+	mk := func() *patch.Patch { return cubeSphereRoots(8, 1)[0] }
+	roots := []*patch.Patch{mk(), mk(), mk()}
+	const levels, ratio = 2, 0.5
+	out, origin := SplitRootsGraded(roots, []EdgeGrade{
+		{Root: 0, Edge: patch.EdgeVLo, Levels: levels, Ratio: ratio},
+		{Root: 2, Edge: patch.EdgeULo, Levels: levels, Ratio: ratio},
+		{Root: 2, Edge: patch.EdgeUHi, Levels: levels, Ratio: ratio},
+	})
+	// Root 0: levels+1 panels; root 1 untouched; root 2: opposite-edge
+	// grades merge into one ladder of 2(levels+1) panels (shared middle).
+	want := (levels + 1) + 1 + 2*(levels+1)
+	if len(out) != want || len(origin) != want {
+		t.Fatalf("split produced %d roots (origin %d), want %d", len(out), len(origin), want)
+	}
+	counts := map[int]int{}
+	for _, o := range origin {
+		counts[o]++
+	}
+	if counts[0] != levels+1 || counts[1] != 1 || counts[2] != 2*(levels+1) {
+		t.Fatalf("origin counts %v", counts)
+	}
+	// Area conserved per root.
+	for ri, r := range roots {
+		var area float64
+		for i, p := range out {
+			if origin[i] == ri {
+				area += p.Area()
+			}
+		}
+		// Composite panel quadrature resolves the non-polynomial area
+		// integrand slightly better than the parent's single rule, so
+		// agreement is to quadrature accuracy, not machine precision.
+		if ref := r.Area(); math.Abs(area-ref) > 1e-5*ref {
+			t.Fatalf("root %d: split area %g vs %g", ri, area, ref)
+		}
+	}
+	// The untouched root is the same object.
+	if out[levels+1] != roots[1] {
+		t.Fatal("ungraded root must pass through unchanged")
+	}
+	// Graded stacks feed the uniform forest as ordinary roots.
+	f := NewUniform(out, 1)
+	if f.NumPatches() != 4*len(out) {
+		t.Fatalf("forest over graded roots: %d patches", f.NumPatches())
+	}
+}

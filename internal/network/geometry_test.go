@@ -110,9 +110,10 @@ func countKinds(g *Geometry) (walls, tcaps, jcaps, hulls int) {
 
 func TestGeometryRootCounts(t *testing.T) {
 	n := testY()
-	// Blended (default): 3 terminal caps, no hemisphere caps, one hull of at
+	// Blended with grading disabled (the seed-era compatibility path):
+	// 3 single-patch terminal caps, no hemisphere caps, one hull of at
 	// least NV patches per incident segment, no fallback nodes.
-	g, err := BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5})
+	g, err := BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5, GradeLevels: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,9 +133,28 @@ func TestGeometryRootCounts(t *testing.T) {
 	if len(g.FallbackNodes) != 0 {
 		t.Fatalf("unexpected capsule fallback at nodes %v", g.FallbackNodes)
 	}
+	// Default edge-graded rims: each terminal cap becomes a center patch
+	// plus NV·(DefaultGradeLevels+1) annulus panels, still one Cap record
+	// per node, and the hull sectors split into graded stacks.
+	gg, err := BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCap := 3 * (1 + 4*(DefaultGradeLevels+1))
+	_, tcapsG, jcapsG, hullsG := countKinds(gg)
+	if tcapsG != wantCap || jcapsG != 0 {
+		t.Fatalf("graded cap patch counts: %d terminal, %d junction caps (want %d, 0)", tcapsG, jcapsG, wantCap)
+	}
+	if hullsG < hulls*(DefaultGradeLevels+1) {
+		t.Fatalf("graded hull patch count %d, want at least %d", hullsG, hulls*(DefaultGradeLevels+1))
+	}
+	if len(gg.Caps) != 3 {
+		t.Fatalf("graded caps records %d, want 3", len(gg.Caps))
+	}
 	// Legacy capsule model behind the compatibility flag: 3 terminal caps
-	// (1 patch each), 3 junction caps (5 patches each), no hull patches.
-	g, err = BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5, Junction: JunctionCapsule})
+	// (1 patch each ungraded), 3 junction caps (5 patches each), no hull
+	// patches.
+	g, err = BuildGeometry(n, TubeParams{NV: 4, AxialLen: 2.5, Junction: JunctionCapsule, GradeLevels: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -400,11 +400,13 @@ func sectorSpans(brk []float64, nv int) [][2]float64 {
 	return spans
 }
 
-// buildJunctionHull constructs the hull patches of one blended junction.
-// A ray-cast failure (blend surface not star-shaped about the node, e.g.
-// strongly curved incident centerlines) is reported as an error so the
-// caller can fall back to capsule caps at this node.
-func buildJunctionHull(tp TubeParams, f *Field, plan *junctionPlan, P [3]float64) ([]*patch.Patch, []RootMeta, error) {
+// buildJunctionHull constructs the hull patches of one blended junction,
+// returning for each patch the parameter edge lying on its collar rim (the
+// hook the edge-graded split uses). A ray-cast failure (blend surface not
+// star-shaped about the node, e.g. strongly curved incident centerlines) is
+// reported as an error so the caller can fall back to capsule caps at this
+// node.
+func buildJunctionHull(tp TubeParams, f *Field, plan *junctionPlan, P [3]float64) ([]*patch.Patch, []RootMeta, []patch.Edge, error) {
 	axes := make([][3]float64, len(plan.ends))
 	segs := make([]int, len(plan.ends))
 	for i := range plan.ends {
@@ -421,6 +423,7 @@ func buildJunctionHull(tp TubeParams, f *Field, plan *junctionPlan, P [3]float64
 	step := 0.25 * f.Kappa()
 	var roots []*patch.Patch
 	var meta []RootMeta
+	var rims []patch.Edge
 	var castErr error
 	for i := range plan.ends {
 		end := &plan.ends[i]
@@ -454,12 +457,20 @@ func buildJunctionHull(tp TubeParams, f *Field, plan *junctionPlan, P [3]float64
 			ref := func(x [3]float64) [3]float64 {
 				return [3]float64{x[0] - P[0], x[1] - P[1], x[2] - P[2]}
 			}
-			roots = append(roots, orientedPatch(tp.Order, mapf, ref))
+			// The rim (s = 0) is the v = −1 edge of mapf; orientation may
+			// transpose (u, v), moving it to u = −1.
+			p, transposed := patch.FromFuncOriented(tp.Order, mapf, ref)
+			rim := patch.EdgeVLo
+			if transposed {
+				rim = patch.EdgeULo
+			}
+			roots = append(roots, p)
+			rims = append(rims, rim)
 			meta = append(meta, RootMeta{Kind: RootJunctionHull, Seg: end.seg, Node: plan.node})
 			if castErr != nil {
-				return nil, nil, castErr
+				return nil, nil, nil, castErr
 			}
 		}
 	}
-	return roots, meta, nil
+	return roots, meta, rims, nil
 }

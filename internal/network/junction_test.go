@@ -61,40 +61,26 @@ func TestJunctionComponentFluxSolvability(t *testing.T) {
 		t.Fatalf("surface net flux %g exceeds 1e-8 of inlet flux %g", total, qin)
 	}
 
-	// Through the BIE solve: the blended system must make progress and be
-	// no worse conditioned than the legacy capsule system on the same data
-	// pipeline. (Absolute GMRES convergence on channel geometries is bounded
-	// by the seed discretization's corner/identity error — the same stall
-	// appears on the seed's torus channel — so the suite pins the relative
-	// behaviour, not a small absolute residual; see DESIGN.md.)
-	solve := func(g *Geometry) float64 {
-		s := g.Surface(0, junctionBIE())
-		bc := g.Inflow(s, f)
-		var resid float64
-		par.Run(1, par.SKX(), func(c *par.Comm) {
-			sv := bie.NewSolver(c, s, bie.ModeLocal, bie.FMMConfig{DirectBelow: 1 << 40})
-			phi, res := sv.Solve(c, bc, nil, 1e-3, 30)
-			resid = res.Residual
-			for _, v := range phi {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					t.Error("non-finite density")
-					return
-				}
+	// Through the BIE solve: with the edge-graded rim discretization and
+	// the rim-safe adaptive quadrature (internal/bie/adaptive.go), GMRES
+	// converges ABSOLUTELY on the blended Y — the seed-era O(1e-1) stall is
+	// gone, so this asserts a small absolute residual rather than the old
+	// relative-vs-legacy behaviour. The CapGrading suite pins the full
+	// grading ladder; here the default build must simply converge.
+	var blendResid float64
+	par.Run(1, par.SKX(), func(c *par.Comm) {
+		sv := bie.NewSolver(c, s, bie.ModeLocal, bie.FMMConfig{DirectBelow: 1 << 40})
+		phi, res := sv.Solve(c, bc, nil, 1e-8, 45)
+		blendResid = res.Residual
+		for _, v := range phi {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Error("non-finite density")
+				return
 			}
-		})
-		return resid
-	}
-	blendResid := solve(g)
-	gc, err := BuildGeometry(n, TubeParams{Order: 6, AxialLen: 3.5, Junction: JunctionCapsule})
-	if err != nil {
-		t.Fatal(err)
-	}
-	capResid := solve(gc)
-	if blendResid > 0.95 {
-		t.Fatalf("blended solve made no progress: residual %g", blendResid)
-	}
-	if blendResid > capResid+0.05 {
-		t.Fatalf("blended solve residual %g worse than legacy capsule %g", blendResid, capResid)
+		}
+	})
+	if blendResid > 1e-6 {
+		t.Fatalf("blended solve must converge absolutely: residual %g > 1e-6", blendResid)
 	}
 }
 
@@ -185,21 +171,30 @@ func TestJunctionRimContinuity(t *testing.T) {
 		t.Fatal(err)
 	}
 	field := g.Field()
-	var rims int
+	// With edge-graded collars only the innermost panel of each hull stack
+	// touches the rim; identify rim panels by their closest edge's tube
+	// residual and require at least one rim panel per hull sector patch
+	// family (every stack contributes exactly one).
+	var rims, rimPanels, hullPanels int
 	for ri, m := range g.Meta {
 		if m.Kind != RootJunctionHull {
 			continue
 		}
-		// The rim is the s = 0 edge of the sector map; orientedRoot may have
-		// transposed (u, v), so identify the rim edge by its tube residual.
+		hullPanels++
 		edges := [2]func(w float64) [3]float64{
 			func(w float64) [3]float64 { return g.Roots[ri].Eval(w, -1) },
 			func(w float64) [3]float64 { return g.Roots[ri].Eval(-1, w) },
 		}
+		// Probe at w = 0 — a Clenshaw–Curtis node for every even order, so a
+		// true rim edge evaluates to an exact rim sample there.
 		edge := edges[0]
-		if math.Abs(field.SegDistance(m.Seg, edges[1](0.3))) < math.Abs(field.SegDistance(m.Seg, edges[0](0.3))) {
+		if math.Abs(field.SegDistance(m.Seg, edges[1](0))) < math.Abs(field.SegDistance(m.Seg, edges[0](0))) {
 			edge = edges[1]
 		}
+		if math.Abs(field.SegDistance(m.Seg, edge(0))) > 1e-9 {
+			continue // interior panel of a graded stack: no rim edge
+		}
+		rimPanels++
 		for _, w := range []float64{-1, -0.5, 0, 0.5, 1} {
 			x := edge(w)
 			if d := math.Abs(field.SegDistance(m.Seg, x)); d > 1e-9 {
@@ -213,6 +208,10 @@ func TestJunctionRimContinuity(t *testing.T) {
 	}
 	if rims == 0 {
 		t.Fatal("no hull rim points tested")
+	}
+	if want := hullPanels / (DefaultGradeLevels + 1); rimPanels < want {
+		t.Fatalf("only %d of %d hull panels carry a rim edge (want at least %d, one per graded stack)",
+			rimPanels, hullPanels, want)
 	}
 	// Hull interiors lie on the blended wall to patch-interpolation accuracy.
 	var worst float64

@@ -147,6 +147,78 @@ func (p *Patch) derivPatches() (*Patch, *Patch) {
 	return p.duP, p.dvP
 }
 
+// TensorEval evaluates positions on the tensor grid us × vs, writing
+// row-major (u slowest) results into pos (len(us)·len(vs)).
+func (p *Patch) TensorEval(us, vs []float64, pos [][3]float64) {
+	p.tensorFields(us, vs, [][][3]float64{pos}, []*Patch{p})
+}
+
+// TensorDerivs evaluates position and first parametric derivatives on the
+// tensor grid us × vs, writing row-major (u slowest) results into pos, du
+// and dv (each len(us)·len(vs)). The two-stage tensor contraction amortizes
+// the basis evaluation over the whole grid — the workhorse of the adaptive
+// rim quadrature, which evaluates small tensor grids on many rectangles.
+func (p *Patch) TensorDerivs(us, vs []float64, pos, du, dv [][3]float64) {
+	duP, dvP := p.derivPatches()
+	p.tensorFields(us, vs, [][][3]float64{pos, du, dv}, []*Patch{p, duP, dvP})
+}
+
+func (p *Patch) tensorFields(us, vs []float64, outs [][][3]float64, srcs []*Patch) {
+	b := getBasis(p.Q)
+	n := p.Q + 1
+	nu, nv := len(us), len(vs)
+	cu := make([]float64, nu*n)
+	cv := make([]float64, nv*n)
+	for i, u := range us {
+		quadrature.LagrangeCoeffsInto(cu[i*n:(i+1)*n], b.nodes, b.bw, u)
+	}
+	for j, v := range vs {
+		quadrature.LagrangeCoeffsInto(cv[j*n:(j+1)*n], b.nodes, b.bw, v)
+	}
+	t1 := make([]float64, nu*n*3)
+	for fi, src := range srcs {
+		out := outs[fi]
+		// Stage 1: contract over u-rows of the value grid.
+		for i := 0; i < nu; i++ {
+			ci := cu[i*n : (i+1)*n]
+			for k := 0; k < n; k++ {
+				var sx, sy, sz float64
+				for a := 0; a < n; a++ {
+					c := ci[a]
+					if c == 0 {
+						continue
+					}
+					v := src.Val[a*n+k]
+					sx += c * v[0]
+					sy += c * v[1]
+					sz += c * v[2]
+				}
+				t1[(i*n+k)*3] = sx
+				t1[(i*n+k)*3+1] = sy
+				t1[(i*n+k)*3+2] = sz
+			}
+		}
+		// Stage 2: contract over v.
+		for i := 0; i < nu; i++ {
+			row := t1[i*n*3 : (i+1)*n*3]
+			for j := 0; j < nv; j++ {
+				cj := cv[j*n : (j+1)*n]
+				var sx, sy, sz float64
+				for k := 0; k < n; k++ {
+					c := cj[k]
+					if c == 0 {
+						continue
+					}
+					sx += c * row[k*3]
+					sy += c * row[k*3+1]
+					sz += c * row[k*3+2]
+				}
+				out[i*nv+j] = [3]float64{sx, sy, sz}
+			}
+		}
+	}
+}
+
 // Normal returns the unit normal du × dv / |du × dv| at (u, v).
 func (p *Patch) Normal(u, v float64) [3]float64 {
 	_, du, dv := p.Derivs(u, v)
@@ -154,24 +226,84 @@ func (p *Patch) Normal(u, v float64) [3]float64 {
 	return Normalize(n)
 }
 
+// Subpatch restricts the patch to the parameter rectangle
+// [u0,u1] × [v0,v1], returning an equivalent patch of the same order
+// (exact: resampling a polynomial). The sub-patch's boundary curves are the
+// restrictions of the parent's, so a set of sub-patches partitioning the
+// parent's parameter square covers exactly the parent's surface.
+func (p *Patch) Subpatch(u0, u1, v0, v1 float64) *Patch {
+	return FromFunc(p.Q, func(u, v float64) [3]float64 {
+		uu := u0 + (u1-u0)*(u+1)/2
+		vv := v0 + (v1-v0)*(v+1)/2
+		return p.Eval(uu, vv)
+	})
+}
+
 // Subdivide splits the patch into 4 equivalent sub-patches over the
 // quadrants of [-1,1]² (exact: resampling a polynomial). Order of children:
 // (u−,v−), (u−,v+), (u+,v−), (u+,v+).
 func (p *Patch) Subdivide() [4]*Patch {
-	maps := [4][2][2]float64{ // {u0,u1},{v0,v1} affine ranges
-		{{-1, 0}, {-1, 0}},
-		{{-1, 0}, {0, 1}},
-		{{0, 1}, {-1, 0}},
-		{{0, 1}, {0, 1}},
+	return [4]*Patch{
+		p.Subpatch(-1, 0, -1, 0),
+		p.Subpatch(-1, 0, 0, 1),
+		p.Subpatch(0, 1, -1, 0),
+		p.Subpatch(0, 1, 0, 1),
 	}
-	var out [4]*Patch
-	for c, m := range maps {
-		um, vm := m[0], m[1]
-		out[c] = FromFunc(p.Q, func(u, v float64) [3]float64 {
-			uu := um[0] + (um[1]-um[0])*(u+1)/2
-			vv := vm[0] + (vm[1]-vm[0])*(v+1)/2
-			return p.Eval(uu, vv)
-		})
+}
+
+// FromFuncOriented builds the patch from f, transposing the (u, v)
+// parameter order if needed so that du×dv at the patch center aligns with
+// the reference outward direction ref evaluated at the center point. The
+// returned flag reports whether the transpose happened — callers that
+// track parameter-space features (e.g. which edge lies on a rim) use it to
+// remap them. This is the single home of the orientation-flip rule shared
+// by the vessel cap and network junction builders.
+func FromFuncOriented(order int, f func(u, v float64) [3]float64, ref func(x [3]float64) [3]float64) (*Patch, bool) {
+	p := FromFunc(order, f)
+	if DotV(p.Normal(0, 0), ref(p.Eval(0, 0))) < 0 {
+		return FromFunc(order, func(u, v float64) [3]float64 { return f(v, u) }), true
+	}
+	return p, false
+}
+
+// Edge names one boundary edge of a patch's parameter square.
+type Edge int
+
+const (
+	// EdgeULo is the u = −1 edge, EdgeUHi the u = +1 edge, and likewise
+	// for v.
+	EdgeULo Edge = iota
+	EdgeUHi
+	EdgeVLo
+	EdgeVHi
+)
+
+// SplitEdgeGraded replaces the patch by a stack of levels+1 sub-patches
+// whose widths shrink dyadically (by ratio) toward the given edge — the
+// edge-graded rim discretization of a patch bordering a cap/barrel rim.
+// The graded edge curve and the two side curves are preserved exactly
+// (polynomial resampling), so a watertight patch union stays watertight
+// after splitting. levels <= 0 returns the patch unchanged.
+func (p *Patch) SplitEdgeGraded(edge Edge, levels int, ratio float64) []*Patch {
+	if levels <= 0 {
+		return []*Patch{p}
+	}
+	// GradedBreakpoints grades toward the interval start; mirror for the
+	// high edges.
+	bks := quadrature.GradedBreakpoints(-1, 1, levels, ratio)
+	out := make([]*Patch, 0, len(bks)-1)
+	for i := 0; i+1 < len(bks); i++ {
+		a, b := bks[i], bks[i+1]
+		switch edge {
+		case EdgeULo:
+			out = append(out, p.Subpatch(a, b, -1, 1))
+		case EdgeUHi:
+			out = append(out, p.Subpatch(-b, -a, -1, 1))
+		case EdgeVLo:
+			out = append(out, p.Subpatch(-1, 1, a, b))
+		default: // EdgeVHi
+			out = append(out, p.Subpatch(-1, 1, -b, -a))
+		}
 	}
 	return out
 }

@@ -234,3 +234,94 @@ func TestVectorHelpers(t *testing.T) {
 		t.Fatal("normalize zero changed")
 	}
 }
+
+func TestSubpatchExactness(t *testing.T) {
+	p := spherePatch(6)
+	sp := p.Subpatch(-0.4, 0.25, 0.1, 1)
+	for _, uv := range [][2]float64{{-1, -1}, {0.3, -0.7}, {1, 1}, {0, 0}} {
+		uu := -0.4 + (0.25 - -0.4)*(uv[0]+1)/2
+		vv := 0.1 + (1-0.1)*(uv[1]+1)/2
+		want := p.Eval(uu, vv)
+		got := sp.Eval(uv[0], uv[1])
+		for d := 0; d < 3; d++ {
+			if math.Abs(got[d]-want[d]) > 1e-12 {
+				t.Fatalf("subpatch mismatch at %v: %v vs %v", uv, got, want)
+			}
+		}
+	}
+}
+
+func TestSplitEdgeGradedPartition(t *testing.T) {
+	p := spherePatch(6)
+	const levels, ratio = 3, 0.5
+	for _, edge := range []Edge{EdgeULo, EdgeUHi, EdgeVLo, EdgeVHi} {
+		stack := p.SplitEdgeGraded(edge, levels, ratio)
+		if len(stack) != levels+1 {
+			t.Fatalf("edge %d: %d panels", edge, len(stack))
+		}
+		// Total area is conserved (the panels partition the parent).
+		var area float64
+		for _, s := range stack {
+			area += s.Area()
+		}
+		// Agreement is to quadrature accuracy (the area integrand is not
+		// polynomial), not machine precision.
+		if ref := p.Area(); math.Abs(area-ref) > 1e-5*ref {
+			t.Fatalf("edge %d: split area %g vs parent %g", edge, area, ref)
+		}
+		// The graded edge curve is preserved exactly: the first panel's
+		// matching edge equals the parent's.
+		probe := func(pp *Patch, w float64) [3]float64 {
+			switch edge {
+			case EdgeULo:
+				return pp.Eval(-1, w)
+			case EdgeUHi:
+				return pp.Eval(1, w)
+			case EdgeVLo:
+				return pp.Eval(w, -1)
+			default:
+				return pp.Eval(w, 1)
+			}
+		}
+		// The rim-side (innermost) panel is emitted first for every edge.
+		rim := stack[0]
+		for _, w := range []float64{-1, -0.3, 0.6, 1} {
+			a, b := probe(p, w), probe(rim, w)
+			if d := math.Hypot(math.Hypot(a[0]-b[0], a[1]-b[1]), a[2]-b[2]); d > 1e-12 {
+				t.Fatalf("edge %d: rim curve moved by %g at w=%g", edge, d, w)
+			}
+		}
+	}
+	// levels <= 0 returns the patch unchanged.
+	if got := p.SplitEdgeGraded(EdgeULo, 0, 0.5); len(got) != 1 || got[0] != p {
+		t.Fatalf("levels 0 should be identity")
+	}
+}
+
+func TestTensorEvalMatchesEval(t *testing.T) {
+	p := spherePatch(6)
+	us := []float64{-0.8, 0.1, 0.9}
+	vs := []float64{-0.5, 0.4}
+	pos := make([][3]float64, len(us)*len(vs))
+	du := make([][3]float64, len(us)*len(vs))
+	dv := make([][3]float64, len(us)*len(vs))
+	p.TensorEval(us, vs, pos)
+	p.TensorDerivs(us, vs, pos, du, dv)
+	for i, u := range us {
+		for j, v := range vs {
+			wantP, wantDu, wantDv := p.Derivs(u, v)
+			k := i*len(vs) + j
+			for d := 0; d < 3; d++ {
+				if math.Abs(pos[k][d]-wantP[d]) > 1e-12 {
+					t.Fatalf("pos mismatch at (%g,%g)", u, v)
+				}
+				if math.Abs(du[k][d]-wantDu[d]) > 1e-10 {
+					t.Fatalf("du mismatch at (%g,%g)", u, v)
+				}
+				if math.Abs(dv[k][d]-wantDv[d]) > 1e-10 {
+					t.Fatalf("dv mismatch at (%g,%g)", u, v)
+				}
+			}
+		}
+	}
+}

@@ -134,13 +134,24 @@ func BaryWeights(x []float64) []float64 {
 // w are the barycentric weights for x. Works for t inside or outside the
 // node interval (the latter is polynomial extrapolation, paper Eq. 3.3).
 func LagrangeCoeffs(x, w []float64, t float64) []float64 {
+	c := make([]float64, len(x))
+	LagrangeCoeffsInto(c, x, w, t)
+	return c
+}
+
+// LagrangeCoeffsInto is LagrangeCoeffs writing into a caller-provided slice
+// (len(c) == len(x)), for allocation-free inner loops such as the adaptive
+// rim quadrature.
+func LagrangeCoeffsInto(c, x, w []float64, t float64) {
 	n := len(x)
-	c := make([]float64, n)
 	// Exact node hit.
 	for j := 0; j < n; j++ {
 		if t == x[j] {
+			for k := range c[:n] {
+				c[k] = 0
+			}
 			c[j] = 1
-			return c
+			return
 		}
 	}
 	var denom float64
@@ -148,10 +159,9 @@ func LagrangeCoeffs(x, w []float64, t float64) []float64 {
 		c[j] = w[j] / (t - x[j])
 		denom += c[j]
 	}
-	for j := range c {
+	for j := 0; j < n; j++ {
 		c[j] /= denom
 	}
-	return c
 }
 
 // Interpolate evaluates the polynomial interpolant of values f at nodes x
@@ -199,6 +209,83 @@ func EquispacedSamples(n int) []float64 {
 		x[i] = -1 + 2*float64(i)/float64(n-1)
 	}
 	return x
+}
+
+// GradedBreakpoints returns the breakpoints of a dyadic panel ladder on
+// [a, b] graded toward a: n+1 panels whose widths shrink geometrically by
+// ratio toward the a end, the innermost panel having width (b-a)·ratio^n.
+// This is the 1D generator of the edge-graded rim discretization: a panel
+// family graded toward a cap/barrel rim lets piecewise polynomials resolve
+// the corner singularity of the boundary density, and gives the
+// near-singular quadrature rim-adjacent panels whose own length scale
+// matches their distance to the corner. levels <= 0 returns [a, b].
+func GradedBreakpoints(a, b float64, levels int, ratio float64) []float64 {
+	if levels <= 0 {
+		return []float64{a, b}
+	}
+	out := make([]float64, 0, levels+2)
+	out = append(out, a)
+	for k := levels; k >= 1; k-- {
+		out = append(out, a+(b-a)*math.Pow(ratio, float64(k)))
+	}
+	out = append(out, b)
+	return out
+}
+
+// GradedSpanBreakpoints splits [a, b] into n uniform panels and replaces
+// the first/last panel with a dyadic graded ladder (levels, ratio) where
+// the corresponding end borders a rim seam — the 1D skeleton shared by the
+// swept-tube barrels of internal/network and the capped channels of
+// internal/vessel. levels < 0 (or gradeLo = gradeHi = false) returns the
+// uniform split; with both ends graded, n is raised to 2 if needed so the
+// ladders stay disjoint.
+func GradedSpanBreakpoints(a, b float64, n int, gradeLo, gradeHi bool, levels int, ratio float64) []float64 {
+	if levels < 0 {
+		gradeLo, gradeHi = false, false
+	}
+	if gradeLo && gradeHi && n < 2 {
+		n = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	uni := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		uni[i] = a + (b-a)*float64(i)/float64(n)
+	}
+	// appendHi appends the last panel's ladder graded toward uni[n] (the
+	// descending toward-start ladder, reversed), skipping its first point
+	// which is already in out.
+	appendHi := func(out []float64) []float64 {
+		tail := GradedBreakpoints(uni[n], uni[n-1], levels, ratio)
+		for i := len(tail) - 2; i >= 0; i-- {
+			out = append(out, tail[i])
+		}
+		return out
+	}
+	if n == 1 {
+		switch {
+		case gradeLo:
+			return GradedBreakpoints(uni[0], uni[1], levels, ratio)
+		case gradeHi:
+			return appendHi([]float64{uni[0]})
+		default:
+			return uni
+		}
+	}
+	var out []float64
+	if gradeLo {
+		out = append(out, GradedBreakpoints(uni[0], uni[1], levels, ratio)...)
+	} else {
+		out = append(out, uni[0], uni[1])
+	}
+	out = append(out, uni[2:n]...)
+	if gradeHi {
+		out = appendHi(out)
+	} else {
+		out = append(out, uni[n])
+	}
+	return out
 }
 
 // ExtrapolationWeights returns weights e such that Σ e[q] f(c[q]) ≈ f(t)

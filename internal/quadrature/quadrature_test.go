@@ -256,3 +256,110 @@ func TestQuickInterpLinearity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGradedBreakpoints(t *testing.T) {
+	// levels <= 0: just the interval.
+	if got := GradedBreakpoints(-1, 1, 0, 0.5); len(got) != 2 || got[0] != -1 || got[1] != 1 {
+		t.Fatalf("levels 0: %v", got)
+	}
+	// levels n: n+2 breakpoints, strictly increasing, panel widths shrink
+	// by ratio toward the start, innermost width = (b-a)·ratio^n.
+	const a, b, ratio = 2.0, 5.0, 0.5
+	for _, levels := range []int{1, 3, 6} {
+		bks := GradedBreakpoints(a, b, levels, ratio)
+		if len(bks) != levels+2 {
+			t.Fatalf("levels %d: %d breakpoints", levels, len(bks))
+		}
+		if bks[0] != a || bks[len(bks)-1] != b {
+			t.Fatalf("levels %d: endpoints %v", levels, bks)
+		}
+		for i := 1; i < len(bks); i++ {
+			if bks[i] <= bks[i-1] {
+				t.Fatalf("levels %d: not increasing: %v", levels, bks)
+			}
+		}
+		inner := bks[1] - bks[0]
+		if want := (b - a) * math.Pow(ratio, float64(levels)); math.Abs(inner-want) > 1e-12 {
+			t.Fatalf("levels %d: innermost width %g want %g", levels, inner, want)
+		}
+		// Consecutive ladder widths grow by exactly 1/ratio (the first pair
+		// is special: the innermost panel has width L·rⁿ while the next has
+		// L·rⁿ⁻¹(1−r)).
+		for i := 2; i+2 < len(bks); i++ {
+			w0 := bks[i] - bks[i-1]
+			w1 := bks[i+1] - bks[i]
+			if math.Abs(w1/w0-1/ratio) > 1e-9 {
+				t.Fatalf("levels %d: width ratio %g want %g (%v)", levels, w1/w0, 1/ratio, bks)
+			}
+		}
+	}
+}
+
+func TestLagrangeCoeffsInto(t *testing.T) {
+	x := ChebyshevSecond(6)
+	w := BaryWeights(x)
+	c := make([]float64, 6)
+	// Matches the allocating variant off-node.
+	LagrangeCoeffsInto(c, x, w, 0.3)
+	for i, v := range LagrangeCoeffs(x, w, 0.3) {
+		if math.Abs(c[i]-v) > 1e-15 {
+			t.Fatalf("coeff %d: %g vs %g", i, c[i], v)
+		}
+	}
+	// Node hit resets stale entries.
+	for i := range c {
+		c[i] = 99
+	}
+	LagrangeCoeffsInto(c, x, w, x[2])
+	for i, v := range c {
+		want := 0.0
+		if i == 2 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("node-hit coeffs %v", c)
+		}
+	}
+}
+
+func TestGradedSpanBreakpoints(t *testing.T) {
+	// Uniform when ungraded or levels < 0.
+	if got := GradedSpanBreakpoints(0, 4, 4, false, false, 2, 0.5); len(got) != 5 {
+		t.Fatalf("uniform: %v", got)
+	}
+	if got := GradedSpanBreakpoints(0, 4, 4, true, true, -1, 0.5); len(got) != 5 {
+		t.Fatalf("levels<0 must stay uniform: %v", got)
+	}
+	for _, tc := range []struct {
+		n                int
+		gradeLo, gradeHi bool
+	}{
+		{1, true, false}, {1, false, true}, {1, true, true},
+		{2, true, true}, {3, true, false}, {4, true, true},
+	} {
+		bks := GradedSpanBreakpoints(1, 3, tc.n, tc.gradeLo, tc.gradeHi, 2, 0.5)
+		if bks[0] != 1 || bks[len(bks)-1] != 3 {
+			t.Fatalf("%+v: endpoints %v", tc, bks)
+		}
+		for i := 1; i < len(bks); i++ {
+			if bks[i] <= bks[i-1] {
+				t.Fatalf("%+v: breakpoints not strictly increasing (no duplicates): %v", tc, bks)
+			}
+		}
+		// Graded ends carry levels extra panels each.
+		n := tc.n
+		if tc.gradeLo && tc.gradeHi && n < 2 {
+			n = 2
+		}
+		want := n + 1
+		if tc.gradeLo {
+			want += 2
+		}
+		if tc.gradeHi {
+			want += 2
+		}
+		if len(bks) != want {
+			t.Fatalf("%+v: %d breakpoints want %d (%v)", tc, len(bks), want, bks)
+		}
+	}
+}

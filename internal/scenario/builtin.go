@@ -100,6 +100,33 @@ func registerTorus() {
 	})
 }
 
+func registerCappedTorus() {
+	Register(&Scenario{
+		Name: "capped-torus",
+		Description: "open torus arc at the seed channel parameters (R=3, r=1, 3π/2 arc) with edge-graded flat caps " +
+			"and a Poiseuille in/out flow — the capped-channel workload the CapGrading suite pins (params: cap_grading)",
+		Steppable: true,
+		BuildGeometry: func(p Params) (*Geom, error) {
+			cc := vessel.CappedTorusChannel(8, 6, 4, 3, 1, 3*math.Pi/2, gradeLevels(p), network.DefaultGradeRatio)
+			f := forest.NewUniform(cc.Roots, p.Level)
+			return &Geom{Surf: bie.NewSurface(f, channelBIEParams()), Capped: cc}, nil
+		},
+		Populate: func(g *Geom, p Params) (*Bundle, error) {
+			b, err := populateChannel(g, p, channelBIEParams())
+			if err != nil {
+				return nil, err
+			}
+			// Replace the closed-torus wall conveyor with the capped
+			// channel's flux-matched Poiseuille caps.
+			b.G = g.Capped.Inflow(g.Surf, p.Inflow)
+			return b, nil
+		},
+		GeometryKey: func(p Params) string {
+			return fmt.Sprintf("level=%d,grade=%d", p.Level, gradeLevels(p))
+		},
+	})
+}
+
 func registerTrefoil() {
 	Register(&Scenario{
 		Name:        "trefoil",
@@ -305,18 +332,32 @@ func NetworkGraph(name string, p Params) (*network.Network, error) {
 	return b(p)
 }
 
-// junctionKey renders the junction-model axes of a network GeometryKey.
-// The zero blend radius is canonicalized to the model default so sweep
+// junctionKey renders the junction-model and rim-grading axes of a network
+// GeometryKey. Zero values are canonicalized to the model defaults so sweep
 // points that build identical geometry share one cache entry.
 func junctionKey(p Params) string {
+	grade := fmt.Sprintf("grade=%d", gradeLevels(p))
 	if p.LegacyJunctions {
-		return "junction=capsule"
+		return "junction=capsule," + grade
 	}
 	blend := p.JunctionBlend
 	if blend == 0 {
 		blend = network.DefaultBlendRadius
 	}
-	return fmt.Sprintf("junction=blend%g", blend)
+	return fmt.Sprintf("junction=blend%g,%s", blend, grade)
+}
+
+// gradeLevels canonicalizes the cap_grading axis: 0 = model default,
+// negative = grading disabled.
+func gradeLevels(p Params) int {
+	switch {
+	case p.CapGrading < 0:
+		return -1
+	case p.CapGrading == 0:
+		return network.DefaultGradeLevels
+	default:
+		return p.CapGrading
+	}
 }
 
 // junctionModel maps the scenario compatibility flag onto the geometry's
@@ -338,6 +379,7 @@ func buildNetworkGeom(net *network.Network, p Params) (*Geom, error) {
 	ng, err := network.BuildGeometry(net, network.TubeParams{
 		Order: 6, AxialLen: 3.5,
 		Junction: junctionModel(p), BlendRadius: p.JunctionBlend,
+		GradeLevels: gradeLevels(p),
 	})
 	if err != nil {
 		return nil, err
@@ -467,6 +509,7 @@ func registerNetworks() {
 
 func init() {
 	registerTorus()
+	registerCappedTorus()
 	registerTrefoil()
 	registerCapsule()
 	registerShear()

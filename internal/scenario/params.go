@@ -50,6 +50,11 @@ type Params struct {
 	// LegacyJunctions switches the network geometry back to the overlapping
 	// capsule junction model (compatibility flag; see DESIGN.md).
 	LegacyJunctions bool `json:"legacy_junctions,omitempty"`
+	// CapGrading is the edge-graded rim discretization level of capped
+	// geometries (network terminal caps and collars, capped-torus caps):
+	// 0 = model default (network.DefaultGradeLevels), -1 = the ungraded
+	// seed-era compatibility scheme, n ≥ 1 = n dyadic panel levels per rim.
+	CapGrading int `json:"cap_grading,omitempty"`
 }
 
 // Defaults fills the universal zero fields; scenario builders fill the rest.
@@ -92,9 +97,9 @@ func (p *Params) Defaults() {
 // SweepKeys are the axis names Set accepts, in canonical order.
 func SweepKeys() []string {
 	return []string{
-		"cell_radius", "cols", "depth", "dt", "gamma", "gravity", "hct",
-		"inflow", "junction_blend", "kappa_b", "level", "max_cells",
-		"min_sep", "rows", "seed", "spacing", "sph_order",
+		"cap_grading", "cell_radius", "cols", "depth", "dt", "gamma",
+		"gravity", "hct", "inflow", "junction_blend", "kappa_b", "level",
+		"max_cells", "min_sep", "rows", "seed", "spacing", "sph_order",
 	}
 }
 
@@ -137,6 +142,8 @@ func (p *Params) Set(key string, v float64) error {
 		p.Inflow = v
 	case "junction_blend":
 		p.JunctionBlend = v
+	case "cap_grading":
+		p.CapGrading = i()
 	case "depth":
 		p.Depth = i()
 	case "rows":

@@ -16,6 +16,7 @@ import (
 	"rbcflow/internal/core"
 	"rbcflow/internal/network"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/vessel"
 )
 
 // Geom is the shareable, read-only geometry stage of a scenario: sweep
@@ -29,6 +30,9 @@ type Geom struct {
 	Net     *network.Network
 	NetGeom *network.Geometry
 	Flow    *network.FlowSolution
+	// Capped open-channel scenarios (capped-torus) carry the channel's cap
+	// metadata for boundary-condition synthesis.
+	Capped *vessel.CappedChannel
 }
 
 // Bundle is everything a driver needs to run one scenario instance.

@@ -13,6 +13,7 @@ import (
 	"rbcflow/internal/bie"
 	"rbcflow/internal/forest"
 	"rbcflow/internal/patch"
+	"rbcflow/internal/quadrature"
 	"rbcflow/internal/rbc"
 )
 
@@ -128,6 +129,75 @@ func CapsuleRoots(order int, radius float64, axes [3]float64) []*patch.Patch {
 // theorem over the coarse quadrature: V = (1/3)∮ x·n dA. Normals must point
 // out of the enclosed fluid.
 func Volume(s *bie.Surface) float64 { return s.EnclosedVolume() }
+
+// capCenterFrac is the radius fraction covered by the central squircle
+// patch of a graded cap; the annulus panels between it and the rim carry
+// the grading.
+const capCenterFrac = 0.5
+
+// orientTo builds f oriented so the patch normal aligns with the constant
+// outward direction ref (patch.FromFuncOriented with a constant reference).
+func orientTo(order int, f func(u, v float64) [3]float64, ref [3]float64) *patch.Patch {
+	p, _ := patch.FromFuncOriented(order, f, func([3]float64) [3]float64 { return ref })
+	return p
+}
+
+// GradedCapRoots builds the patches of one flat terminal-cap disk of
+// radius r centered at ctr in the (e1, e2) plane, oriented so normals
+// point along aout (out of the fluid).
+//
+// levels < 0 reproduces the seed-era single "squircle" patch (the
+// square→disk map whose boundary lies exactly on the rim circle) — the
+// ungraded compatibility path. levels >= 0 builds the edge-graded cap:
+// a central squircle patch covering capCenterFrac of the radius plus nv
+// azimuthal sectors of annulus panels whose radial widths shrink
+// dyadically (by ratio) toward the rim. The rim circle is parameterized
+// identically to a swept barrel's end ring (cos/sin in the same frame),
+// so cap and barrel share the rim curve exactly at equal patch order.
+func GradedCapRoots(order, nv int, ctr, aout, e1, e2 [3]float64, r float64, levels int, ratio float64) []*patch.Patch {
+	at := func(rho, phi float64) [3]float64 {
+		x, y := rho*r*math.Cos(phi), rho*r*math.Sin(phi)
+		return [3]float64{
+			ctr[0] + x*e1[0] + y*e2[0],
+			ctr[1] + x*e1[1] + y*e2[1],
+			ctr[2] + x*e1[2] + y*e2[2],
+		}
+	}
+	squircle := func(scale float64) func(u, v float64) [3]float64 {
+		return func(u, v float64) [3]float64 {
+			x := scale * r * u * math.Sqrt(1-v*v/2)
+			y := scale * r * v * math.Sqrt(1-u*u/2)
+			return [3]float64{
+				ctr[0] + x*e1[0] + y*e2[0],
+				ctr[1] + x*e1[1] + y*e2[1],
+				ctr[2] + x*e1[2] + y*e2[2],
+			}
+		}
+	}
+	if levels < 0 {
+		return []*patch.Patch{orientTo(order, squircle(1), aout)}
+	}
+	roots := []*patch.Patch{orientTo(order, squircle(capCenterFrac), aout)}
+	// Radial ladder from the center patch to the rim, graded toward rho = 1:
+	// the mirror of GradedBreakpoints' toward-start ladder.
+	b := quadrature.GradedBreakpoints(0, 1-capCenterFrac, levels, ratio)
+	rb := make([]float64, len(b))
+	for i, v := range b {
+		rb[len(b)-1-i] = 1 - v
+	}
+	for ri := 0; ri+1 < len(rb); ri++ {
+		r0, r1 := rb[ri], rb[ri+1]
+		for bq := 0; bq < nv; bq++ {
+			p0 := 2 * math.Pi * float64(bq) / float64(nv)
+			p1 := 2 * math.Pi * float64(bq+1) / float64(nv)
+			f := func(u, v float64) [3]float64 {
+				return at(r0+(r1-r0)*(u+1)/2, p0+(p1-p0)*(v+1)/2)
+			}
+			roots = append(roots, orientTo(order, f, aout))
+		}
+	}
+	return roots
+}
 
 // FillParams configures the RBC filling algorithm of §5.1.
 type FillParams struct {

@@ -162,6 +162,27 @@ func CapsuleVessel(level int, radius float64, axes [3]float64, prm BIEParams) *S
 	return bie.NewSurface(f, prm)
 }
 
+// CappedChannel is an open channel with flat edge-graded terminal caps
+// (see vessel.CappedTubeChannel / vessel.CappedTorusChannel).
+type CappedChannel = vessel.CappedChannel
+
+// CappedTubeVessel builds an open straight tube of radius r and length L
+// closed by flat caps with gradeLevels dyadic rim-panel levels
+// (gradeLevels < 0 = the ungraded seed-era caps), refined to the given
+// level. The returned channel synthesizes its flux-matched Poiseuille
+// boundary condition via CappedChannel.Inflow.
+func CappedTubeVessel(level int, r, L float64, gradeLevels int, prm BIEParams) (*Surface, *CappedChannel) {
+	cc := vessel.CappedTubeChannel(8, 4, r, L, 2.5, gradeLevels, network.DefaultGradeRatio)
+	return bie.NewSurface(forest.NewUniform(cc.Roots, level), prm), cc
+}
+
+// CappedTorusVessel builds an open torus arc (the seed torus at channel
+// parameters when R=3, r=1) closed by flat edge-graded caps.
+func CappedTorusVessel(level int, R, r, arc float64, gradeLevels int, prm BIEParams) (*Surface, *CappedChannel) {
+	cc := vessel.CappedTorusChannel(8, 6, 4, R, r, arc, gradeLevels, network.DefaultGradeRatio)
+	return bie.NewSurface(forest.NewUniform(cc.Roots, level), prm), cc
+}
+
 // Fill populates a vessel with nearly-touching cells (paper §5.1).
 func Fill(s *Surface, prm FillParams) []*Cell { return vessel.Fill(s, prm) }
 
