@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -115,7 +116,11 @@ func BenchmarkFig1VesselDemo(b *testing.B) {
 // all). Each case times the one-off solver precompute (the adaptive
 // singular quadrature), a single operator application, and the full GMRES
 // solve, and the results are emitted as BENCH_capgrading.json so the
-// solver-cost trajectory is recorded across PRs.
+// solver-cost trajectory is recorded across PRs. The operator-layer half
+// then sweeps plan-build worker counts on the graded geometry, times a
+// plan-cache cold store vs warm load, and pins that a cached plan solves
+// with a bit-identical GMRES residual history; those rows are emitted as
+// BENCH_operator.json.
 func BenchmarkCappedSolve(b *testing.B) {
 	type caseOut struct {
 		Grade       int     `json:"grade"`
@@ -147,12 +152,84 @@ func BenchmarkCappedSolve(b *testing.B) {
 		})
 		return out
 	}
+	// Operator-layer sweep (grade-2 geometry): plan build wall time per
+	// worker count, disk-cache cold/warm, and solve reproducibility from a
+	// cached plan.
+	type workerOut struct {
+		Workers int     `json:"workers"`
+		BuildS  float64 `json:"build_s"`
+		Speedup float64 `json:"speedup_vs_1w"`
+	}
+	type operatorOut struct {
+		Nodes       int         `json:"nodes"`
+		GOMAXPROCS  int         `json:"gomaxprocs"`
+		Workers     []workerOut `json:"workers"`
+		PlanColdS   float64     `json:"plan_cache_cold_s"` // build + store
+		PlanWarmS   float64     `json:"plan_cache_warm_s"` // fingerprint + load
+		WarmSpeedup float64     `json:"warm_speedup"`
+		// HistoryBitIdentical: a disk-cached plan reproduces the sequential
+		// solver's GMRES residual history bit for bit.
+		HistoryBitIdentical bool `json:"residual_history_bit_identical"`
+	}
+	runOperator := func() operatorOut {
+		cc := vessel.CappedTubeChannel(6, 4, 1, 6, 2.5, 2, 0.5)
+		s := bie.NewSurface(forest.NewUniform(cc.Roots, 0), prm)
+		bc := cc.Inflow(s, math.Pi/2)
+		out := operatorOut{Nodes: s.NumNodes(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		for _, w := range []int{1, 2, 4, 8} {
+			t0 := time.Now()
+			bie.BuildQuadPlan(s, w)
+			row := workerOut{Workers: w, BuildS: time.Since(t0).Seconds()}
+			if len(out.Workers) > 0 {
+				row.Speedup = out.Workers[0].BuildS / math.Max(row.BuildS, 1e-12)
+			} else {
+				row.Speedup = 1
+			}
+			out.Workers = append(out.Workers, row)
+		}
+		cacheDir := b.TempDir()
+		t0 := time.Now()
+		_, _, err := bie.PlanFor(s, 0, cacheDir)
+		out.PlanColdS = time.Since(t0).Seconds()
+		if err != nil {
+			b.Fatalf("cold plan: %v", err)
+		}
+		t1 := time.Now()
+		plan, src, err := bie.PlanFor(s, 0, cacheDir)
+		out.PlanWarmS = time.Since(t1).Seconds()
+		if err != nil || src != bie.PlanDisk {
+			b.Fatalf("warm plan: source %q err %v", src, err)
+		}
+		out.WarmSpeedup = out.PlanColdS / math.Max(out.PlanWarmS, 1e-12)
+		var histSeq, histPlan []float64
+		par.Run(1, par.SKX(), func(c *par.Comm) {
+			sv := bie.NewSolver(c, s, bie.ModeLocal, bie.FMMConfig{DirectBelow: 1 << 40})
+			_, res := sv.Solve(c, bc, nil, 1e-6, 45)
+			histSeq = res.History
+		})
+		par.Run(1, par.SKX(), func(c *par.Comm) {
+			sv := bie.NewWallOperator(c, s, bie.WithFMM(bie.FMMConfig{DirectBelow: 1 << 40}), bie.WithPlan(plan))
+			_, res := sv.Solve(c, bc, nil, 1e-6, 45)
+			histPlan = res.History
+		})
+		out.HistoryBitIdentical = len(histSeq) == len(histPlan) && len(histSeq) > 0
+		for i := range histSeq {
+			if i < len(histPlan) && math.Float64bits(histSeq[i]) != math.Float64bits(histPlan[i]) {
+				out.HistoryBitIdentical = false
+			}
+		}
+		return out
+	}
 	for i := 0; i < b.N; i++ {
 		ungraded := run(-1)
 		graded := run(2)
 		b.ReportMetric(graded.PrecomputeS/math.Max(ungraded.PrecomputeS, 1e-12), "graded/ungraded-precompute")
 		b.ReportMetric(graded.SolveS/math.Max(ungraded.SolveS, 1e-12), "graded/ungraded-solve")
 		b.ReportMetric(graded.Residual, "graded-residual")
+		op := runOperator()
+		last := op.Workers[len(op.Workers)-1]
+		b.ReportMetric(last.Speedup, "plan-8w-speedup")
+		b.ReportMetric(op.WarmSpeedup, "plan-warm-speedup")
 		if i == b.N-1 {
 			blob, err := json.MarshalIndent(map[string]any{
 				"benchmark": "BenchmarkCappedSolve",
@@ -162,6 +239,17 @@ func BenchmarkCappedSolve(b *testing.B) {
 			}, "", "  ")
 			if err == nil {
 				_ = os.WriteFile("BENCH_capgrading.json", append(blob, '\n'), 0o644)
+			}
+			blob, err = json.MarshalIndent(map[string]any{
+				"benchmark": "BenchmarkCappedSolve/operator",
+				"geometry":  "capped-tube r=1 L=6 (order 6, NV 4), grade 2",
+				"note": "plan build wall time vs worker count (wall-clock; speedup is" +
+					" bounded by available cores), plan-cache cold store vs warm load," +
+					" and cached-plan GMRES reproducibility",
+				"operator": op,
+			}, "", "  ")
+			if err == nil {
+				_ = os.WriteFile("BENCH_operator.json", append(blob, '\n'), 0o644)
 			}
 		}
 	}

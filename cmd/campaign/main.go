@@ -37,6 +37,8 @@ func main() {
 	out := flag.String("out", "out/campaign", "output directory")
 	dryRun := flag.Bool("dry-run", false, "list scenarios and the expanded sweep, run nothing")
 	noResume := flag.Bool("no-resume", false, "ignore existing checkpoints")
+	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (content-addressed; shared across campaigns)")
+	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	flag.Parse()
 
 	cfg := &scenario.CampaignConfig{}
@@ -97,6 +99,12 @@ func main() {
 	if *noResume {
 		cfg.DisableResume = true
 	}
+	if *planCache != "" {
+		cfg.PlanCache = *planCache
+	}
+	if *precomputeWorkers > 0 {
+		cfg.PrecomputeWorkers = *precomputeWorkers
+	}
 	cfg.Defaults()
 
 	specs, err := scenario.ExpandSweep(cfg)
@@ -121,6 +129,9 @@ func main() {
 	}
 	fmt.Printf("campaign complete: %d/%d runs ok; manifest at %s/manifest.json\n",
 		m.OKCount(), len(m.Runs), *out)
+	for _, ps := range m.PlanStats {
+		fmt.Printf("  wall plan %.12s: %d run(s), %s\n", ps.Fingerprint, ps.Runs, ps.Source)
+	}
 	if m.OKCount() < len(m.Runs) {
 		os.Exit(1)
 	}

@@ -38,6 +38,8 @@ func main() {
 	legacy := flag.Bool("legacy-junctions", false, "use the legacy overlapping-capsule junction model")
 	capGrading := flag.Int("cap-grading", 0, "edge-graded rim levels at terminal caps and collars (0 = default, -1 = ungraded legacy)")
 	volCheck := flag.Bool("volcheck", false, "compute the order-converged junction volume with error bars (extra geometry builds)")
+	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
+	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	flag.Parse()
 
 	name := *scn
@@ -125,10 +127,14 @@ func main() {
 
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps, OutDir: *out,
+		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if outcome.PlanFingerprint != "" {
+		fmt.Printf("wall plan %.12s (%s)\n", outcome.PlanFingerprint, outcome.PlanSource)
 	}
 	for _, row := range outcome.Rows {
 		fmt.Printf("step %d: GMRES %d, contacts %d\n", row.Step, row.GMRES, row.Contacts)

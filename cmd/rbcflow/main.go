@@ -28,6 +28,8 @@ func main() {
 	out := flag.String("out", "", "output directory for VTK/CSV/checkpoint (empty = none)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every k steps (needs -out)")
 	noResume := flag.Bool("no-resume", false, "ignore an existing checkpoint")
+	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
+	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	flag.Parse()
 
 	if *list {
@@ -55,10 +57,14 @@ func main() {
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps,
 		CheckpointEvery: *ckptEvery, OutDir: *out, NoResume: *noResume,
+		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if outcome.PlanFingerprint != "" {
+		fmt.Printf("wall plan %.12s (%s)\n", outcome.PlanFingerprint, outcome.PlanSource)
 	}
 	for _, row := range outcome.Rows {
 		fmt.Printf("step %d: GMRES %d, contacts %d\n", row.Step, row.GMRES, row.Contacts)

@@ -53,8 +53,11 @@ import (
 // caches rectangles down to adaptCacheDepth per axis; deeper rectangles
 // are target-specific (the tail of the recursion around one singular
 // point), so they are computed into reusable scratch instead. A context
-// belongs to one Solver (one rank) and is not safe for concurrent use —
-// matching the rank-sequential execution model of internal/par.
+// is cheap mutable state and is NOT safe for concurrent use; concurrency
+// comes from giving each user its own context — the parallel plan build
+// (plan.go) shards one per worker, and the Solver keeps a sync.Pool for
+// the on-the-fly evaluation paths. Values never depend on which context
+// computes them, so the sharding is invisible to results.
 
 const (
 	// adaptAlpha is the refinement threshold: a rectangle is integrated

@@ -1,0 +1,331 @@
+package bie
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PlanVersion is bumped whenever the on-disk plan layout or the numerics
+// that produce the blocks change; LoadPlan rejects mismatches instead of
+// mis-decoding, and the version participates in the fingerprint so a stale
+// cache entry can never be confused with a current one.
+const PlanVersion = 1
+
+// CorrBlock is one precomputed local correction: the contribution of one
+// near patch's coarse density to one target node, combining −(coarse direct)
+// with +(adaptive fine quadrature); M is a row-major 3 × 3·NQ matrix acting
+// on the patch's interleaved coarse unknowns.
+type CorrBlock struct {
+	Pid int
+	M   []float64
+}
+
+// QuadPlan is the precomputed near-field correction operator of the local
+// mode for one rigid surface: per coarse node, the dense correction blocks
+// of every near patch. A plan is immutable once built, safe for concurrent
+// readers, shareable between solvers, ranks, sweep points and processes
+// (via SavePlan/LoadPlan), and content-addressed by Fingerprint.
+type QuadPlan struct {
+	Version int
+	// Fingerprint identifies the (geometry, discretization, quadrature
+	// numerics) content this plan was built for; see PlanFingerprint.
+	// Empty on partial (rank-local) plans, which are never cached.
+	Fingerprint string
+	QuadNodes   int
+	NumNodes    int
+	// Partial marks a rank-local plan: Corr rows outside the owning rank's
+	// node range are nil. Partial plans cannot be saved or shared.
+	Partial bool
+	// Corr[g] are the correction blocks of global coarse node g, ordered by
+	// ascending patch id (the deterministic nearPatches order).
+	Corr [][]CorrBlock
+}
+
+// Blocks returns the correction blocks of global node g (the NearField
+// contract).
+func (p *QuadPlan) Blocks(g int) []CorrBlock { return p.Corr[g] }
+
+// Name identifies the near-field backend this plan implements.
+func (p *QuadPlan) Name() string { return "dense-plan" }
+
+// Compatible reports whether the plan can drive the local operator on s,
+// checking the cheap structural invariants first and the full content
+// fingerprint last (skipped for partial plans, which are built in-process
+// from s itself).
+func (p *QuadPlan) Compatible(s *Surface) error {
+	if p.Version != PlanVersion {
+		return fmt.Errorf("bie: plan version %d, want %d", p.Version, PlanVersion)
+	}
+	if p.NumNodes != s.NumNodes() {
+		return fmt.Errorf("bie: plan has %d nodes, surface has %d", p.NumNodes, s.NumNodes())
+	}
+	if p.QuadNodes != s.P.QuadNodes {
+		return fmt.Errorf("bie: plan built for %d quad nodes, surface uses %d", p.QuadNodes, s.P.QuadNodes)
+	}
+	if !p.Partial {
+		if fp := PlanFingerprint(s); p.Fingerprint != fp {
+			return fmt.Errorf("bie: plan fingerprint %.12s does not match surface %.12s", p.Fingerprint, fp)
+		}
+	}
+	return nil
+}
+
+// PlanFingerprint content-addresses the near-field correction operator of a
+// surface: a SHA-256 over everything the blocks depend on — the plan format
+// version, the adaptive-rule constants, the discretization parameters that
+// shape the blocks (QuadNodes sets the block size and interpolation grid,
+// NearFactor the near-zone membership), and the exact nodal geometry of
+// every patch. Two surfaces with equal fingerprints produce bit-identical
+// plans, so the fingerprint is a safe disk-cache key across sweep points,
+// campaign runs, and checkpoint resumes. The hash is computed once per
+// (rigid, immutable) surface and memoized: Compatible re-checks it on every
+// operator construction — per rank, per checkpoint segment — and must not
+// re-hash the geometry each time.
+func PlanFingerprint(s *Surface) string {
+	s.fpOnce.Do(func() { s.fp = computeFingerprint(s) })
+	return s.fp
+}
+
+func computeFingerprint(s *Surface) string {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wi(PlanVersion)
+	wi(adaptOrder)
+	wi(adaptMaxDepth)
+	wi(adaptCacheDepth)
+	wf(adaptAlpha)
+	wf(adaptAlphaGrow)
+	wf(adaptAlphaMax)
+	wf(adaptAspect)
+	wi(s.P.QuadNodes)
+	wf(s.P.NearFactor)
+	wi(s.F.NumPatches())
+	for _, pp := range s.F.Patches {
+		wi(pp.Q)
+		wi(len(pp.Val))
+		for _, v := range pp.Val {
+			wf(v[0])
+			wf(v[1])
+			wf(v[2])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BuildQuadPlan precomputes the full-surface correction plan with a worker
+// pool over target nodes. workers <= 0 uses GOMAXPROCS. The result is
+// bit-identical for every worker count: each node's blocks are an
+// independent deterministic function of the surface, workers only partition
+// the node set, and each worker owns a private adaptiveCtx whose
+// rect-geometry cache affects cost, never values.
+func BuildQuadPlan(s *Surface, workers int) *QuadPlan {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := s.NumNodes()
+	p := &QuadPlan{
+		Version:     PlanVersion,
+		Fingerprint: PlanFingerprint(s),
+		QuadNodes:   s.P.QuadNodes,
+		NumNodes:    n,
+		Corr:        make([][]CorrBlock, n),
+	}
+	buildCorrRange(p.Corr, s, 0, n, workers)
+	return p
+}
+
+// buildPartialPlan precomputes only the node range [lo, hi) — the rank-local
+// construction path of NewWallOperator when no shared plan is supplied.
+func buildPartialPlan(s *Surface, lo, hi, workers int) *QuadPlan {
+	p := &QuadPlan{
+		Version:   PlanVersion,
+		QuadNodes: s.P.QuadNodes,
+		NumNodes:  s.NumNodes(),
+		Partial:   true,
+		Corr:      make([][]CorrBlock, s.NumNodes()),
+	}
+	buildCorrRange(p.Corr, s, lo, hi, workers)
+	return p
+}
+
+// buildCorrRange fills corr[g] for g in [lo, hi) using `workers` goroutines.
+// Work is dealt in patch-sized chunks (NQ consecutive targets) so a worker's
+// adaptiveCtx cache sees runs of targets refining into the same patches;
+// the chunk an individual worker processes never influences the values
+// written, only which private cache fills them in.
+func buildCorrRange(corr [][]CorrBlock, s *Surface, lo, hi, workers int) {
+	if hi <= lo {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	// Fill the shared bbox cache before the pool starts: nearPatches would
+	// do it lazily through a sync.Once, but doing it here keeps the workers'
+	// first chunks uniform.
+	s.bboxOnce.Do(s.fillBBoxes)
+	if workers == 1 {
+		ac := newAdaptiveCtx(s.P.QuadNodes)
+		for g := lo; g < hi; g++ {
+			corr[g] = buildNodeCorr(ac, s, g)
+		}
+		return
+	}
+	chunk := s.NQ
+	var next int64 = int64(lo)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ac := newAdaptiveCtx(s.P.QuadNodes)
+			for {
+				g0 := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if g0 >= hi {
+					return
+				}
+				g1 := g0 + chunk
+				if g1 > hi {
+					g1 = hi
+				}
+				for g := g0; g < g1; g++ {
+					corr[g] = buildNodeCorr(ac, s, g)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildNodeCorr assembles, for one target node, the combined correction
+// block −W(x)·ϕ_j + A_j(x)·ϕ_j of every near patch j, where A_j is the
+// adaptive singular/near-singular quadrature of adaptive.go (the own
+// patch's weakly singular PV integral, a proper integral for every other
+// near patch). The ½ϕ interior jump is added analytically in Apply.
+func buildNodeCorr(ac *adaptiveCtx, s *Surface, g int) []CorrBlock {
+	nq := s.NQ
+	x := s.Pts[g]
+	own := s.PatchOf(g)
+	var out []CorrBlock
+	for _, j := range s.nearPatches(x, own) {
+		m := make([]float64, 3*3*nq)
+		// −(coarse direct) part.
+		for mm := 0; mm < nq; mm++ {
+			idx := j*nq + mm
+			addDLBlock(m, 3*nq, mm, x, s.Pts[idx], s.Nrm[idx], -s.W[idx])
+		}
+		// +(adaptive quadrature) part.
+		ac.dlBlock(m, s.F.Patches[j], x)
+		out = append(out, CorrBlock{Pid: j, M: m})
+	}
+	return out
+}
+
+// SavePlan writes the plan atomically (unique temp file + rename, like
+// scenario checkpoints), so an interrupt mid-write never corrupts a cached
+// plan and concurrent processes publishing the same fingerprint cannot
+// interleave into one temp file. Partial plans are rejected: only
+// full-surface plans are shareable.
+func SavePlan(path string, p *QuadPlan) error {
+	if p.Partial {
+		return fmt.Errorf("bie: refusing to save a partial (rank-local) plan")
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("bie: encode plan: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadPlan reads and version-checks a plan written by SavePlan.
+func LoadPlan(path string) (*QuadPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p := &QuadPlan{}
+	if err := gob.NewDecoder(f).Decode(p); err != nil {
+		return nil, fmt.Errorf("bie: decode plan %s: %w", path, err)
+	}
+	if p.Version != PlanVersion {
+		return nil, fmt.Errorf("bie: plan %s has version %d, want %d", path, p.Version, PlanVersion)
+	}
+	return p, nil
+}
+
+// PlanSource reports how PlanFor satisfied a request.
+type PlanSource string
+
+const (
+	// PlanBuilt: no usable cache entry; the plan was computed.
+	PlanBuilt PlanSource = "built"
+	// PlanDisk: loaded from the on-disk cache by fingerprint.
+	PlanDisk PlanSource = "disk"
+	// PlanShared: served from an in-memory share (reported by layers that
+	// memoize PlanFor, e.g. the scenario geometry cache — PlanFor itself
+	// never returns it).
+	PlanShared PlanSource = "memory"
+)
+
+// PlanPath returns the cache file of a fingerprint under dir.
+func PlanPath(dir, fingerprint string) string {
+	return filepath.Join(dir, fingerprint+".qplan")
+}
+
+// PlanFor returns the correction plan of s, consulting the content-addressed
+// disk cache under cacheDir first (empty = no cache). A cache miss builds
+// the plan with the given worker count and stores it for the next process;
+// a corrupt or incompatible entry is rebuilt and overwritten rather than
+// trusted. The store is best-effort: an unwritable cache degrades to an
+// uncached build — the freshly built plan is always returned and must not
+// take the run (or every sweep point sharing the geometry) down with it.
+func PlanFor(s *Surface, workers int, cacheDir string) (*QuadPlan, PlanSource, error) {
+	fp := PlanFingerprint(s)
+	if cacheDir != "" {
+		if p, err := LoadPlan(PlanPath(cacheDir, fp)); err == nil {
+			if err := p.Compatible(s); err == nil {
+				return p, PlanDisk, nil
+			}
+		}
+	}
+	p := BuildQuadPlan(s, workers)
+	if cacheDir != "" {
+		_ = SavePlan(PlanPath(cacheDir, fp), p) // best-effort store
+	}
+	return p, PlanBuilt, nil
+}

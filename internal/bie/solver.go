@@ -2,8 +2,8 @@ package bie
 
 import (
 	"math"
+	"sync"
 
-	"rbcflow/internal/fmm"
 	"rbcflow/internal/forest"
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/la"
@@ -23,30 +23,34 @@ const (
 	ModeGlobal
 )
 
-// corrBlock is a precomputed local correction: the contribution of one near
-// patch's coarse density to one target, combining −(coarse direct) with
-// +(extrapolated fine quadrature); a 3 × 3·NQ matrix.
-type corrBlock struct {
-	pid int
-	m   []float64 // row-major 3 x 3NQ
-}
-
-// Solver applies and inverts the Nyström system (paper Eq. 3.5).
+// Solver is the standard WallOperator implementation: it applies and
+// inverts the Nyström system (paper Eq. 3.5) through a pluggable far-field
+// backend (FMM or direct summation) and, in the local mode, a NearField of
+// precomputed dense correction blocks (a QuadPlan — rank-local by default,
+// or a shared/cached full-surface plan). Construct with NewWallOperator;
+// NewSolver is the legacy-signature shim. A Solver is safe for concurrent
+// use by independent par worlds once constructed.
 type Solver struct {
 	S    *Surface
 	Mode Mode
 
-	eval *fmm.Evaluator
-	ac   *adaptiveCtx
+	far  FarField
+	near NearField // local mode's correction blocks; nil in ModeGlobal
+	// acPool holds adaptiveCtx instances for the on-the-fly near-singular
+	// evaluations (EvalVelocity, OnSurfaceVelocity); pooling keeps the
+	// rect-geometry caches warm across calls while letting concurrent
+	// callers each hold a private context.
+	acPool sync.Pool
 
 	// Rank-local data (fixed at construction for a given comm geometry).
-	rank, size   int
-	patchLo      int
-	patchHi      int
-	nodeLo       int
-	nodeHi       int
-	corr         [][]corrBlock // per owned node
-	checkPts     [][3]float64  // owned nodes' check points, (p+1) per node
+	rank, size int
+	patchLo    int
+	patchHi    int
+	nodeLo     int
+	nodeHi     int
+	checkPts   [][3]float64 // owned nodes' check points, (p+1) per node
+
+	histMu       sync.Mutex
 	gmresHistory []la.GMRESResult
 }
 
@@ -58,38 +62,27 @@ type FMMConfig struct {
 }
 
 // NewSolver builds the solver for this rank's patch range, precomputing the
-// local correction operator when mode == ModeLocal (possible because Γ is
-// rigid; amortized over every time step of the simulation).
+// local correction operator when mode == ModeLocal. It is the compatibility
+// shim over NewWallOperator, which exposes the full option set (shared
+// plans, worker pools, alternative backends).
 func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
-	sv := &Solver{S: s, Mode: mode, rank: c.Rank(), size: c.Size(), ac: newAdaptiveCtx(s.P.QuadNodes)}
-	sv.patchLo, sv.patchHi = s.F.OwnerRange(sv.size, sv.rank)
-	sv.nodeLo, sv.nodeHi = sv.patchLo*s.NQ, sv.patchHi*s.NQ
-	sv.eval = fmm.NewEvaluator(fmm.Config{
-		Kernel:      kernels.StokesDoubleTensor{},
-		Order:       fc.Order,
-		LeafSize:    fc.LeafSize,
-		DirectBelow: fc.DirectBelow,
-	})
-
-	if mode == ModeGlobal {
-		// Only the global mode's extrapolation reads the fine grid and the
-		// check points; the local mode's adaptive quadrature needs neither.
-		s.EnsureFine()
-		p := s.P.ExtrapOrder
-		nOwned := sv.nodeHi - sv.nodeLo
-		sv.checkPts = make([][3]float64, nOwned*(p+1))
-		for k := 0; k < nOwned; k++ {
-			g := sv.nodeLo + k
-			cps := s.CheckPoints(s.Pts[g], s.Nrm[g], s.L[s.PatchOf(g)])
-			copy(sv.checkPts[k*(p+1):(k+1)*(p+1)], cps)
-		}
-	}
-	if mode == ModeLocal {
-		sv.precomputeCorrections()
-	}
-	c.Barrier()
-	return sv
+	return NewWallOperator(c, s, WithMode(mode), WithFMM(fc))
 }
+
+// Surface returns the discretized boundary the operator acts on.
+func (sv *Solver) Surface() *Surface { return sv.S }
+
+// Plan returns the solver's near-field backend as a plan when it is one
+// (nil otherwise — ModeGlobal, or a custom NearField).
+func (sv *Solver) Plan() *QuadPlan {
+	p, _ := sv.near.(*QuadPlan)
+	return p
+}
+
+// acquireCtx checks an adaptive-quadrature context out of the pool.
+func (sv *Solver) acquireCtx() *adaptiveCtx { return sv.acPool.Get().(*adaptiveCtx) }
+
+func (sv *Solver) releaseCtx(ac *adaptiveCtx) { sv.acPool.Put(ac) }
 
 // nearPatches returns the patches within their own near-zone distance of x;
 // selfPid (if >= 0) is always included without a distance test. The
@@ -103,7 +96,9 @@ func NewSolver(c *par.Comm, s *Surface, mode Mode, fc FMMConfig) *Solver {
 // within range (the nodes lie ON the patch, so the true distance can only
 // be smaller), and the Newton closest-point solve only in the remaining
 // gray zone. Edge-graded rim stacks put many panels near every rim target,
-// so the cheap stages carry almost all of the traffic.
+// so the cheap stages carry almost all of the traffic. The parallel plan
+// build calls this from many workers at once: everything here is read-only
+// after the sync.Once bbox fill.
 func (s *Surface) nearPatches(x [3]float64, selfPid int) []int {
 	s.bboxOnce.Do(s.fillBBoxes)
 	var out []int
@@ -160,33 +155,6 @@ func boxDist(x [3]float64, lo, hi [3]float64) float64 {
 	return math.Sqrt(d2)
 }
 
-// precomputeCorrections assembles, for every owned target node and every
-// near patch j, the combined correction block −W(x)·ϕ_j + A_j(x)·ϕ_j, where
-// A_j is the adaptive singular/near-singular quadrature of adaptive.go (the
-// own patch's weakly singular PV integral, a proper integral for every
-// other near patch). The ½ϕ interior jump is added analytically in Apply.
-func (sv *Solver) precomputeCorrections() {
-	s := sv.S
-	nq := s.NQ
-	sv.corr = make([][]corrBlock, sv.nodeHi-sv.nodeLo)
-	for k := 0; k < sv.nodeHi-sv.nodeLo; k++ {
-		g := sv.nodeLo + k
-		x := s.Pts[g]
-		own := s.PatchOf(g)
-		for _, j := range s.nearPatches(x, own) {
-			m := make([]float64, 3*3*nq)
-			// −(coarse direct) part.
-			for mm := 0; mm < nq; mm++ {
-				idx := j*nq + mm
-				addDLBlock(m, 3*nq, mm, x, s.Pts[idx], s.Nrm[idx], -s.W[idx])
-			}
-			// +(adaptive quadrature) part.
-			sv.ac.dlBlock(m, s.F.Patches[j], x)
-			sv.corr[k] = append(sv.corr[k], corrBlock{pid: j, m: m})
-		}
-	}
-}
-
 // addDLBlock accumulates w·D(x,y;n) into the 3×3 sub-block of m at source
 // node mm (row stride is the full row length).
 func addDLBlock(m []float64, stride, mm int, x, y, n [3]float64, w float64) {
@@ -226,7 +194,7 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 
 	var u []float64
 	if sv.Mode == ModeLocal {
-		// Coarse FMM over all nodes at owned nodes.
+		// Coarse far-field sum over all nodes at owned nodes.
 		srcPos := s.Pts[sv.nodeLo:sv.nodeHi]
 		srcQ := make([]float64, nOwned*9)
 		for k := 0; k < nOwned; k++ {
@@ -235,17 +203,17 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 		prev := c.Label()
 		c.SetLabel("BIE-FMM")
-		u = fmm.EvaluateDist(c, sv.eval, srcPos, srcQ, s.Pts[sv.nodeLo:sv.nodeHi])
+		u = sv.far.Evaluate(c, srcPos, srcQ, s.Pts[sv.nodeLo:sv.nodeHi])
 		c.SetLabel(prev)
 
 		phiAll, _ := par.AllgathervFlat(c, phiLocal)
 		c.AllreduceSum(fluxArr)
 		for k := 0; k < nOwned; k++ {
 			dst := u[3*k : 3*k+3]
-			for _, cb := range sv.corr[k] {
-				seg := phiAll[cb.pid*3*nq : (cb.pid+1)*3*nq]
+			for _, cb := range sv.near.Blocks(sv.nodeLo + k) {
+				seg := phiAll[cb.Pid*3*nq : (cb.Pid+1)*3*nq]
 				for a := 0; a < 3; a++ {
-					row := cb.m[a*3*nq : (a+1)*3*nq]
+					row := cb.M[a*3*nq : (a+1)*3*nq]
 					var acc float64
 					for i, v := range row {
 						acc += v * seg[i]
@@ -261,7 +229,7 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 	} else {
 		// Global mode: upsample owned density, evaluate at check points via
-		// one fine-grid FMM, extrapolate.
+		// one fine-grid far-field sum, extrapolate.
 		p := s.P.ExtrapOrder
 		nPatchOwned := sv.patchHi - sv.patchLo
 		finePos := s.FinePts[sv.patchLo*s.NQF : sv.patchHi*s.NQF]
@@ -277,7 +245,7 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 		prev := c.Label()
 		c.SetLabel("BIE-FMM")
-		uChk := fmm.EvaluateDist(c, sv.eval, finePos, fineQ, sv.checkPts)
+		uChk := sv.far.Evaluate(c, finePos, fineQ, sv.checkPts)
 		c.SetLabel(prev)
 		c.AllreduceSum(fluxArr)
 
@@ -309,37 +277,22 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 	return u
 }
 
-// Solve runs distributed GMRES on (1/2 I + D + N)ϕ = rhs, where rhs is the
-// rank-local right-hand side segment. phi0 is the initial guess (may be
-// nil). Returns the rank-local solution and the GMRES diagnostics. maxIter
-// mirrors the paper's 30-iteration cap (§5.1).
+// Solve runs distributed GMRES on (1/2 I + D + N)ϕ = rhs (see the
+// package-level Solve, which works for any WallOperator) and records the
+// diagnostics in the solver's history.
 func (sv *Solver) Solve(c *par.Comm, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, la.GMRESResult) {
-	n := len(rhs)
-	x := make([]float64, n)
-	if phi0 != nil {
-		copy(x, phi0)
-	}
-	dot := func(a, b []float64) float64 {
-		v := []float64{la.Dot(a, b)}
-		c.AllreduceSum(v)
-		return v[0]
-	}
-	apply := func(dst, v []float64) {
-		copy(dst, sv.Apply(c, v))
-	}
-	res, err := la.GMRES(apply, rhs, x, la.GMRESOptions{
-		Tol: tol, MaxIters: maxIter, Restart: maxIter, Dot: dot,
-	})
-	if err != nil {
-		panic("bie: GMRES failure: " + err.Error())
-	}
+	x, res := Solve(c, sv, rhs, phi0, tol, maxIter)
+	sv.histMu.Lock()
 	sv.gmresHistory = append(sv.gmresHistory, res)
+	sv.histMu.Unlock()
 	return x, res
 }
 
 // LastGMRES returns the diagnostics of the most recent solve (zero value if
 // none).
 func (sv *Solver) LastGMRES() la.GMRESResult {
+	sv.histMu.Lock()
+	defer sv.histMu.Unlock()
 	if len(sv.gmresHistory) == 0 {
 		return la.GMRESResult{}
 	}
@@ -347,8 +300,9 @@ func (sv *Solver) LastGMRES() la.GMRESResult {
 }
 
 // EvalVelocity computes u^Γ = Dϕ at arbitrary rank-local targets, using the
-// coarse FMM plus on-the-fly near-singular corrections for targets whose
-// closest-point data cls marks them inside a near zone. Collective.
+// coarse far-field backend plus on-the-fly near-singular corrections for
+// targets whose closest-point data cls marks them inside a near zone.
+// Collective.
 func (sv *Solver) EvalVelocity(c *par.Comm, phiLocal []float64, targets [][3]float64, cls []forest.Closest) []float64 {
 	s := sv.S
 	nq := s.NQ
@@ -362,10 +316,12 @@ func (sv *Solver) EvalVelocity(c *par.Comm, phiLocal []float64, targets [][3]flo
 	}
 	prev := c.Label()
 	c.SetLabel("BIE-FMM")
-	u := fmm.EvaluateDist(c, sv.eval, srcPos, srcQ, targets)
+	u := sv.far.Evaluate(c, srcPos, srcQ, targets)
 	c.SetLabel(prev)
 	phiAll, _ := par.AllgathervFlat(c, phiLocal)
 
+	ac := sv.acquireCtx()
+	defer sv.releaseCtx(ac)
 	for ti, x := range targets {
 		if ti >= len(cls) || cls[ti].PatchID < 0 {
 			continue
@@ -386,7 +342,7 @@ func (sv *Solver) EvalVelocity(c *par.Comm, phiLocal []float64, targets [][3]flo
 				kernels.DoubleLayerVel(dst, x, s.Pts[idx], s.Nrm[idx],
 					phiAll[idx*3:idx*3+3], -s.W[idx])
 			}
-			sv.ac.dlVelocity(dst, s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
+			ac.dlVelocity(dst, s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
 		}
 	}
 	return u
@@ -411,12 +367,14 @@ func (sv *Solver) OnSurfaceVelocity(c *par.Comm, phiLocal []float64, pid int, uu
 	for k, y := range s.Pts {
 		kernels.DoubleLayerVel(u[:], x, y, s.Nrm[k], phiAll[3*k:3*k+3], s.W[k])
 	}
+	ac := sv.acquireCtx()
+	defer sv.releaseCtx(ac)
 	for _, j := range s.nearPatches(x, pid) {
 		for mm := 0; mm < nq; mm++ {
 			idx := j*nq + mm
 			kernels.DoubleLayerVel(u[:], x, s.Pts[idx], s.Nrm[idx], phiAll[idx*3:idx*3+3], -s.W[idx])
 		}
-		sv.ac.dlVelocity(u[:], s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
+		ac.dlVelocity(u[:], s.F.Patches[j], x, phiAll[j*3*nq:(j+1)*3*nq])
 	}
 	// Interior limit = PV + ϕ(x)/2 with ϕ interpolated on the owning patch.
 	nodes := s.Nodes1D()

@@ -125,6 +125,10 @@ type Surface struct {
 	bboxOnce sync.Once
 	bboxLo   [][3]float64
 	bboxHi   [][3]float64
+	// Cached content fingerprint (lazy; the surface is rigid, so hashing
+	// every patch's nodal geometry once is enough — see PlanFingerprint).
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewSurface discretizes the forest with the given parameters.

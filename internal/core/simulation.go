@@ -31,9 +31,19 @@ type Config struct {
 	// Gravity is a uniform body-force density on membranes.
 	Gravity [3]float64
 	// BIE/GMRES controls.
-	BIEParams   bie.Params
-	BIEMode     bie.Mode
-	FMM         bie.FMMConfig
+	BIEParams bie.Params
+	BIEMode   bie.Mode
+	FMM       bie.FMMConfig
+	// PrecomputeWorkers parallelizes the local-mode correction precompute
+	// when no shared WallPlan is supplied (<= 0 keeps it sequential, the
+	// faithful setting inside multi-rank virtual-time worlds — each rank
+	// models one core).
+	PrecomputeWorkers int
+	// WallPlan is a prebuilt (possibly disk-cached) near-field correction
+	// plan consumed instead of precomputing per rank; see bie.PlanFor and
+	// scenario.Geom, which share one plan across ranks, checkpoint
+	// segments, and sweep points of equal geometry.
+	WallPlan    *bie.QuadPlan
 	GMRESMax    int     // boundary-solve iteration cap (paper: 30)
 	GMRESTol    float64 // boundary-solve tolerance
 	FilterEvery int     // apply the spectral filter every k steps (0 = off)
@@ -81,7 +91,7 @@ type Simulation struct {
 	totalCells   int
 
 	Surf   *bie.Surface
-	Solver *bie.Solver
+	Solver bie.WallOperator
 	G      []float64 // boundary condition at owned nodes (3 per node)
 	phi    []float64 // warm-started density
 
@@ -123,7 +133,11 @@ func New(c *par.Comm, cfg Config, cells []*rbc.Cell, surf *bie.Surface, g []floa
 		DirectBelow: cfg.FMM.DirectBelow,
 	})
 	if surf != nil {
-		s.Solver = bie.NewSolver(c, surf, cfg.BIEMode, cfg.FMM)
+		s.Solver = bie.NewWallOperator(c, surf,
+			bie.WithMode(cfg.BIEMode),
+			bie.WithFMM(cfg.FMM),
+			bie.WithWorkers(cfg.PrecomputeWorkers),
+			bie.WithPlan(cfg.WallPlan))
 		plo, phi := surf.F.OwnerRange(c.Size(), c.Rank())
 		nOwn := (phi - plo) * surf.NQ
 		s.G = make([]float64, 3*nOwn)
@@ -194,7 +208,7 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		for i := range rhs {
 			rhs[i] = s.G[i] - ufr[i]
 		}
-		phi, res := s.Solver.Solve(c, rhs, s.phi, cfg.GMRESTol, cfg.GMRESMax)
+		phi, res := bie.Solve(c, s.Solver, rhs, s.phi, cfg.GMRESTol, cfg.GMRESMax)
 		s.phi = phi
 		stats.GMRESIters = res.Iterations
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"rbcflow/internal/bie"
 	"rbcflow/internal/par"
 )
 
@@ -38,6 +39,12 @@ type CampaignConfig struct {
 	DisableResume bool `json:"disable_resume,omitempty"`
 	// SurfaceRes is the wall-VTK per-patch quad resolution.
 	SurfaceRes int `json:"surface_res,omitempty"`
+	// PrecomputeWorkers is the wall-plan build worker count (0 = GOMAXPROCS).
+	PrecomputeWorkers int `json:"precompute_workers,omitempty"`
+	// PlanCache is the content-addressed wall-plan disk cache directory;
+	// sweep points and repeated campaigns with equal geometry reuse plans
+	// instead of rebuilding them.
+	PlanCache string `json:"plan_cache,omitempty"`
 }
 
 // Defaults fills zero fields.
@@ -164,15 +171,35 @@ type RunRecord struct {
 	NumCells    int      `json:"num_cells"`
 	VirtualTime float64  `json:"virtual_time"`
 	Outputs     []string `json:"outputs,omitempty"`
+	// PlanFingerprint is the wall-operator plan this run consumed (empty
+	// when none was needed). The per-run source is aggregated into the
+	// manifest's PlanStats instead of recorded here: WHICH concurrent
+	// worker materializes a shared plan is scheduling-dependent, while the
+	// per-fingerprint counts are deterministic.
+	PlanFingerprint string `json:"plan_fingerprint,omitempty"`
+
+	planSource string // "built" | "disk" | "memory"; aggregation only
+}
+
+// PlanStat is one wall-plan entry of the campaign manifest: how many runs
+// consumed the plan and how its single materialization was satisfied
+// ("built" = computed this campaign, "disk" = loaded from the plan cache).
+type PlanStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Runs        int    `json:"runs"`
+	Source      string `json:"source"`
 }
 
 // Manifest is the deterministic campaign summary written to
 // <outdir>/manifest.json: runs appear in sweep-expansion order with their
-// status and outputs. It carries no timestamps, so re-running a finished
-// campaign reproduces it byte-for-byte.
+// status and outputs, and PlanStats lists the wall plans consumed, sorted
+// by fingerprint. It carries no timestamps and no scheduling-dependent
+// fields, so a campaign is reproduced byte-for-byte by re-running it from
+// the same starting state (fresh output dir and plan cache).
 type Manifest struct {
-	Config CampaignConfig `json:"config"`
-	Runs   []RunRecord    `json:"runs"`
+	Config    CampaignConfig `json:"config"`
+	Runs      []RunRecord    `json:"runs"`
+	PlanStats []PlanStat     `json:"plan_stats,omitempty"`
 }
 
 // OKCount returns how many runs finished ("ok" or "geometry-only").
@@ -247,6 +274,11 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest,
 
 	cache := &geomCache{m: map[string]*geomEntry{}}
 	records := make([]RunRecord, len(specs))
+	if cfg.PlanCache != "" {
+		if err := os.MkdirAll(cfg.PlanCache, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -274,11 +306,40 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest,
 	close(jobs)
 	wg.Wait()
 
-	m := &Manifest{Config: *cfg, Runs: records}
+	m := &Manifest{Config: *cfg, Runs: records, PlanStats: aggregatePlanStats(records)}
 	if err := WriteManifest(filepath.Join(outDir, "manifest.json"), m); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// aggregatePlanStats folds the per-run plan provenance into deterministic
+// per-fingerprint counts. Exactly one run per materialized plan reports a
+// non-"memory" source (the Geom's sync.Once guarantees a single
+// materialization), so the aggregate is stable even though which worker won
+// the race is not.
+func aggregatePlanStats(records []RunRecord) []PlanStat {
+	byFP := map[string]*PlanStat{}
+	for _, r := range records {
+		if r.PlanFingerprint == "" {
+			continue
+		}
+		st, ok := byFP[r.PlanFingerprint]
+		if !ok {
+			st = &PlanStat{Fingerprint: r.PlanFingerprint, Source: string(bie.PlanShared)}
+			byFP[r.PlanFingerprint] = st
+		}
+		st.Runs++
+		if r.planSource != "" && r.planSource != string(bie.PlanShared) {
+			st.Source = r.planSource
+		}
+	}
+	out := make([]PlanStat, 0, len(byFP))
+	for _, st := range byFP {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
 }
 
 // executeSpec runs one sweep point with panic containment and a watchdog
@@ -343,20 +404,24 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 			return
 		}
 		outcome, err := Execute(b, RunOptions{
-			Ranks:           cfg.Ranks,
-			Machine:         machine,
-			Steps:           cfg.Steps,
-			CheckpointEvery: cfg.CheckpointEvery,
-			OutputEvery:     cfg.OutputEvery,
-			OutDir:          runDir,
-			NoResume:        cfg.DisableResume,
-			SurfaceRes:      cfg.SurfaceRes,
+			Ranks:             cfg.Ranks,
+			Machine:           machine,
+			Steps:             cfg.Steps,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			OutputEvery:       cfg.OutputEvery,
+			OutDir:            runDir,
+			NoResume:          cfg.DisableResume,
+			SurfaceRes:        cfg.SurfaceRes,
+			PrecomputeWorkers: cfg.PrecomputeWorkers,
+			PlanCache:         cfg.PlanCache,
 		})
 		if err != nil {
 			r.Status, r.Error = "failed", err.Error()
 			return
 		}
 		r.Status = "ok"
+		r.PlanFingerprint = outcome.PlanFingerprint
+		r.planSource = outcome.PlanSource
 		r.Steps = outcome.Steps
 		r.ResumedFrom = outcome.ResumedFrom
 		r.NumCells = len(outcome.Centroids)

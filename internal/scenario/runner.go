@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"rbcflow/internal/bie"
 	"rbcflow/internal/core"
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
@@ -38,6 +39,16 @@ type RunOptions struct {
 
 	// SurfaceRes is the per-patch quad resolution of the wall VTK.
 	SurfaceRes int
+
+	// PrecomputeWorkers is the worker count of the wall-operator plan build
+	// (0 = GOMAXPROCS — the build runs outside the virtual-time world, so
+	// real parallelism is free).
+	PrecomputeWorkers int
+	// PlanCache is the content-addressed wall-plan disk cache directory
+	// ("" = in-memory sharing only). Plans are keyed by a geometry+params
+	// fingerprint, so equal geometry reuses one plan across sweep points,
+	// campaign invocations, and checkpoint resumes.
+	PlanCache string
 }
 
 func (o *RunOptions) defaults() {
@@ -59,6 +70,11 @@ type RunOutcome struct {
 	LastStats   core.StepStats
 	Ledger      par.Ledger
 	Outputs     []string // files written (checkpoint, VTK, CSV)
+	// PlanFingerprint/PlanSource record the wall-operator plan this run
+	// consumed and how it was obtained ("built", "disk", "memory"); empty
+	// when the run needed no plan (free space, ModeGlobal, nothing to step).
+	PlanFingerprint string
+	PlanSource      string
 }
 
 func totalVolume(cells []*rbc.Cell) float64 {
@@ -116,6 +132,26 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		}
 	}
 
+	// Materialize the wall-operator plan once per run, outside the ranked
+	// worlds: every checkpoint segment (and every rank) below consumes the
+	// same plan instead of re-precomputing, and runs sharing a Geom (or a
+	// PlanCache entry from an earlier invocation) skip the build entirely.
+	var wallPlan *bie.QuadPlan
+	if b.Surf != nil && b.Config.BIEMode == bie.ModeLocal && startStep < opt.Steps {
+		var src bie.PlanSource
+		var err error
+		if b.Geom != nil {
+			wallPlan, src, err = b.Geom.WallPlan(opt.PrecomputeWorkers, opt.PlanCache)
+		} else {
+			wallPlan, src, err = bie.PlanFor(b.Surf, opt.PrecomputeWorkers, opt.PlanCache)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: wall plan: %w", b.Scenario, err)
+		}
+		out.PlanFingerprint = wallPlan.Fingerprint
+		out.PlanSource = string(src)
+	}
+
 	var obs *Observer
 	if opt.OutDir != "" {
 		var err error
@@ -167,6 +203,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		var cents [][][3]float64
 		var lastStats core.StepStats
 		cfg := b.Config
+		cfg.WallPlan = wallPlan
 		cfg.OnStep = func(c *par.Comm, sim *core.Simulation, step int, st core.StepStats) {
 			parts := par.Allgatherv(c, sim.Centroids())
 			vol := sim.TotalCellVolume(c)

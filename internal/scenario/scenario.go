@@ -33,6 +33,37 @@ type Geom struct {
 	// Capped open-channel scenarios (capped-torus) carry the channel's cap
 	// metadata for boundary-condition synthesis.
 	Capped *vessel.CappedChannel
+
+	// The wall-operator plan rides with the geometry it was built for, so
+	// sweep points sharing a Geom build (or disk-load) it exactly once.
+	planOnce sync.Once
+	plan     *bie.QuadPlan
+	planSrc  bie.PlanSource
+	planErr  error
+}
+
+// WallPlan returns the geometry's near-field correction plan, materializing
+// it on first call through bie.PlanFor (disk cache under cacheDir when
+// non-empty, parallel build otherwise) and serving the in-memory copy to
+// every later caller. The returned source records how THIS call was
+// satisfied: "built"/"disk" for the one materializing call, "memory" for
+// the rest — deterministic counts even under concurrent campaign workers.
+func (g *Geom) WallPlan(workers int, cacheDir string) (*bie.QuadPlan, bie.PlanSource, error) {
+	if g.Surf == nil {
+		return nil, "", fmt.Errorf("scenario: geometry has no wall surface to plan for")
+	}
+	materialized := false
+	g.planOnce.Do(func() {
+		materialized = true
+		g.plan, g.planSrc, g.planErr = bie.PlanFor(g.Surf, workers, cacheDir)
+	})
+	if g.planErr != nil {
+		return nil, "", g.planErr
+	}
+	if materialized {
+		return g.plan, g.planSrc, nil
+	}
+	return g.plan, bie.PlanShared, nil
 }
 
 // Bundle is everything a driver needs to run one scenario instance.

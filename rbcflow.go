@@ -23,6 +23,7 @@ import (
 	"rbcflow/internal/bie"
 	"rbcflow/internal/core"
 	"rbcflow/internal/forest"
+	"rbcflow/internal/la"
 	"rbcflow/internal/network"
 	"rbcflow/internal/par"
 	"rbcflow/internal/patch"
@@ -107,6 +108,74 @@ const (
 	ModeLocal  = bie.ModeLocal
 	ModeGlobal = bie.ModeGlobal
 )
+
+// Wall-operator layer: the composable boundary-solver API (see DESIGN.md,
+// "operator layer"). A WallOperator applies/evaluates the wall operator; a
+// QuadPlan is its precomputed, serializable, content-addressed near-field
+// correction operator.
+type (
+	// WallOperator is the pluggable wall-operator interface consumed by the
+	// time stepper (Apply / EvalVelocity / OnSurfaceVelocity).
+	WallOperator = bie.WallOperator
+	// QuadPlan is a precomputed near-field correction plan — shareable
+	// across ranks, sweep points, and (via Save/LoadWallPlan) processes.
+	QuadPlan = bie.QuadPlan
+	// OperatorOption configures NewWallOperator.
+	OperatorOption = bie.Option
+	// FarField is the pluggable smooth-summation backend (FMM or direct).
+	FarField = bie.FarField
+	// NearField is the pluggable near-zone correction backend.
+	NearField = bie.NearField
+	// GMRESResult carries boundary-solve diagnostics (iterations, residual
+	// history).
+	GMRESResult = la.GMRESResult
+)
+
+// NewWallOperator builds the boundary operator for a surface with the
+// functional-option configuration (mode, FMM accuracy, precompute workers,
+// a prebuilt plan, or alternative backends). Collective.
+func NewWallOperator(c *Comm, s *Surface, opts ...OperatorOption) *bie.Solver {
+	return bie.NewWallOperator(c, s, opts...)
+}
+
+// Wall-operator options.
+func WithOperatorMode(m bie.Mode) OperatorOption      { return bie.WithMode(m) }
+func WithOperatorFMM(fc FMMConfig) OperatorOption     { return bie.WithFMM(fc) }
+func WithPrecomputeWorkers(n int) OperatorOption      { return bie.WithWorkers(n) }
+func WithWallPlan(p *QuadPlan) OperatorOption         { return bie.WithPlan(p) }
+func WithFarFieldBackend(f FarField) OperatorOption   { return bie.WithFarField(f) }
+func WithNearFieldBackend(n NearField) OperatorOption { return bie.WithNearField(n) }
+
+// DirectFarField is the exact-summation far-field backend (verification
+// reference and small-surface fast path); FMMFarField the default FMM one.
+func DirectFarField() FarField          { return bie.DirectFarField() }
+func FMMFarField(fc FMMConfig) FarField { return bie.FMMFarField(fc) }
+
+// BuildWallPlan precomputes a full-surface correction plan with a worker
+// pool (workers <= 0 uses all cores); bit-identical for any worker count.
+func BuildWallPlan(s *Surface, workers int) *QuadPlan { return bie.BuildQuadPlan(s, workers) }
+
+// WallPlanFingerprint content-addresses the correction operator of a
+// surface (the disk-cache key of plan files).
+func WallPlanFingerprint(s *Surface) string { return bie.PlanFingerprint(s) }
+
+// WallPlanFor returns the plan of s through the content-addressed disk
+// cache under cacheDir ("" = always build); the source reports "built" or
+// "disk".
+func WallPlanFor(s *Surface, workers int, cacheDir string) (*QuadPlan, string, error) {
+	p, src, err := bie.PlanFor(s, workers, cacheDir)
+	return p, string(src), err
+}
+
+// SaveWallPlan / LoadWallPlan expose the versioned gob plan snapshots.
+func SaveWallPlan(path string, p *QuadPlan) error { return bie.SavePlan(path, p) }
+func LoadWallPlan(path string) (*QuadPlan, error) { return bie.LoadPlan(path) }
+
+// SolveWall runs distributed GMRES on any wall operator (rank-local rhs and
+// initial guess; see bie.Solve).
+func SolveWall(c *Comm, op WallOperator, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, GMRESResult) {
+	return bie.Solve(c, op, rhs, phi0, tol, maxIter)
+}
 
 // Junction surface models.
 const (
