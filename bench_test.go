@@ -17,6 +17,7 @@ import (
 	"rbcflow/internal/experiments"
 	"rbcflow/internal/forest"
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 	"rbcflow/internal/vessel"
 )
 
@@ -170,6 +171,11 @@ func BenchmarkCappedSolve(b *testing.B) {
 		// HistoryBitIdentical: a disk-cached plan reproduces the sequential
 		// solver's GMRES residual history bit for bit.
 		HistoryBitIdentical bool `json:"residual_history_bit_identical"`
+		// PhaseSeconds / PhaseCounts are the telemetry breakdown of the
+		// cached-plan solve: per-span wall seconds (bie.matvec far/near,
+		// bie.solve) and the deterministic counter core.
+		PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+		PhaseCounts  map[string]int64   `json:"phase_counts,omitempty"`
 	}
 	runOperator := func() operatorOut {
 		cc := vessel.CappedTubeChannel(6, 4, 1, 6, 2.5, 2, 0.5)
@@ -189,13 +195,13 @@ func BenchmarkCappedSolve(b *testing.B) {
 		}
 		cacheDir := b.TempDir()
 		t0 := time.Now()
-		_, _, err := bie.PlanFor(s, 0, cacheDir)
+		_, _, err := bie.PlanFor(s, 0, cacheDir, nil)
 		out.PlanColdS = time.Since(t0).Seconds()
 		if err != nil {
 			b.Fatalf("cold plan: %v", err)
 		}
 		t1 := time.Now()
-		plan, src, err := bie.PlanFor(s, 0, cacheDir)
+		plan, src, err := bie.PlanFor(s, 0, cacheDir, nil)
 		out.PlanWarmS = time.Since(t1).Seconds()
 		if err != nil || src != bie.PlanDisk {
 			b.Fatalf("warm plan: source %q err %v", src, err)
@@ -207,11 +213,17 @@ func BenchmarkCappedSolve(b *testing.B) {
 			_, res := sv.Solve(c, bc, nil, 1e-6, 45)
 			histSeq = res.History
 		})
+		reg := telemetry.NewRegistry()
 		par.Run(1, par.SKX(), func(c *par.Comm) {
-			sv := bie.NewWallOperator(c, s, bie.WithFMM(bie.FMMConfig{DirectBelow: 1 << 40}), bie.WithPlan(plan))
+			sv := bie.NewWallOperator(c, s,
+				bie.WithFMM(bie.FMMConfig{DirectBelow: 1 << 40}),
+				bie.WithPlan(plan), bie.WithTelemetry(reg))
 			_, res := sv.Solve(c, bc, nil, 1e-6, 45)
 			histPlan = res.History
 		})
+		snap := reg.Snapshot()
+		out.PhaseSeconds = snap.SecondsMap()
+		out.PhaseCounts = snap.CounterMap()
 		out.HistoryBitIdentical = len(histSeq) == len(histPlan) && len(histSeq) > 0
 		for i := range histSeq {
 			if i < len(histPlan) && math.Float64bits(histSeq[i]) != math.Float64bits(histPlan[i]) {

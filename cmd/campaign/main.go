@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"rbcflow/internal/scenario"
+	"rbcflow/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 	noResume := flag.Bool("no-resume", false, "ignore existing checkpoints")
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (content-addressed; shared across campaigns)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
+	telemetryOut := flag.String("telemetry-out", "", "write the campaign's telemetry aggregates (per-run + totals) as JSON to this path")
+	debugAddr := flag.String("debug-addr", "", `serve /debug/pprof profiling endpoints on this address (per-run metrics land in the manifest)`)
 	flag.Parse()
 
 	cfg := &scenario.CampaignConfig{}
@@ -123,6 +127,15 @@ func main() {
 		return
 	}
 
+	if *debugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, telemetry.NewRegistry())
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("debug listener on http://%s (/debug/pprof)\n", addr)
+	}
+
 	m, err := scenario.RunCampaign(cfg, *out, os.Stdout)
 	if err != nil {
 		fatal(err)
@@ -132,9 +145,41 @@ func main() {
 	for _, ps := range m.PlanStats {
 		fmt.Printf("  wall plan %.12s: %d run(s), %s\n", ps.Fingerprint, ps.Runs, ps.Source)
 	}
+	if *telemetryOut != "" {
+		if err := writeCampaignTelemetry(*telemetryOut, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry aggregates written to %s\n", *telemetryOut)
+	}
 	if m.OKCount() < len(m.Runs) {
 		os.Exit(1)
 	}
+}
+
+// writeCampaignTelemetry dumps the manifest's telemetry view: the campaign
+// totals plus each run's deterministic counter/gauge core and wall-clock
+// span seconds.
+func writeCampaignTelemetry(path string, m *scenario.Manifest) error {
+	type runTel struct {
+		Counters map[string]int64   `json:"counters,omitempty"`
+		Gauges   map[string]float64 `json:"gauges,omitempty"`
+		Seconds  map[string]float64 `json:"seconds,omitempty"`
+	}
+	runs := map[string]runTel{}
+	for _, r := range m.Runs {
+		if len(r.Telemetry) == 0 && len(r.TelemetryGauges) == 0 {
+			continue
+		}
+		runs[r.ID] = runTel{Counters: r.Telemetry, Gauges: r.TelemetryGauges, Seconds: r.TelemetrySeconds}
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"telemetry_totals": m.TelemetryTotals,
+		"runs":             runs,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 func listScenarios() {

@@ -40,6 +40,8 @@ func main() {
 	volCheck := flag.Bool("volcheck", false, "compute the order-converged junction volume with error bars (extra geometry builds)")
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
+	telemetryOut := flag.String("telemetry-out", "", "write the run's metrics snapshot as JSON to this path")
+	debugAddr := flag.String("debug-addr", "", `serve /metrics and /debug/pprof on this address (e.g. "localhost:6060")`)
 	flag.Parse()
 
 	name := *scn
@@ -125,9 +127,24 @@ func main() {
 		return
 	}
 
+	var reg *rbcflow.TelemetryRegistry
+	if *telemetryOut != "" || *debugAddr != "" {
+		reg = rbcflow.NewTelemetryRegistry()
+	}
+	if *debugAddr != "" {
+		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/pprof)\n", addr)
+	}
+
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps, OutDir: *out,
 		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
+		Telemetry: reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -142,5 +159,12 @@ func main() {
 	fmt.Printf("modeled wall time %.3fs; breakdown:\n", outcome.Ledger.VirtualTime)
 	for _, k := range []string{"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"} {
 		fmt.Printf("  %-10s %8.3fs\n", k, outcome.Ledger.TimeByLabel[k])
+	}
+	if *telemetryOut != "" {
+		if err := rbcflow.WriteTelemetryJSON(*telemetryOut, outcome.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
 }

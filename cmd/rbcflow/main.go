@@ -30,6 +30,8 @@ func main() {
 	noResume := flag.Bool("no-resume", false, "ignore an existing checkpoint")
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
+	telemetryOut := flag.String("telemetry-out", "", "write the run's metrics snapshot as JSON to this path")
+	debugAddr := flag.String("debug-addr", "", `serve /metrics and /debug/pprof on this address (e.g. "localhost:6060")`)
 	flag.Parse()
 
 	if *list {
@@ -54,10 +56,25 @@ func main() {
 		fmt.Printf("%s: free space, %d cells\n", *name, len(b.Cells))
 	}
 
+	var reg *rbcflow.TelemetryRegistry
+	if *telemetryOut != "" || *debugAddr != "" {
+		reg = rbcflow.NewTelemetryRegistry()
+	}
+	if *debugAddr != "" {
+		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/pprof)\n", addr)
+	}
+
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps,
 		CheckpointEvery: *ckptEvery, OutDir: *out, NoResume: *noResume,
 		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
+		Telemetry: reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,6 +89,20 @@ func main() {
 	fmt.Printf("modeled wall time %.3fs; breakdown:\n", outcome.Ledger.VirtualTime)
 	for _, k := range []string{"COL", "BIE-solve", "BIE-FMM", "Other-FMM", "Other"} {
 		fmt.Printf("  %-10s %8.3fs\n", k, outcome.Ledger.TimeByLabel[k])
+	}
+	if reg != nil {
+		sec := outcome.Telemetry.SecondsMap()
+		fmt.Println("measured per-phase wall time:")
+		for _, k := range []string{"forces", "boundary", "intercell", "implicit", "collision", "commit"} {
+			fmt.Printf("  %-10s %8.3fs\n", k, sec["core.step."+k])
+		}
+	}
+	if *telemetryOut != "" {
+		if err := rbcflow.WriteTelemetryJSON(*telemetryOut, outcome.Telemetry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
 	if len(outcome.Outputs) > 0 {
 		fmt.Printf("wrote %d files under %s\n", len(outcome.Outputs), *out)

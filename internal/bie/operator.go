@@ -6,6 +6,7 @@ import (
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/la"
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 )
 
 // WallOperator is the composable wall-operator contract consumed by the
@@ -59,12 +60,17 @@ func (f *fmmFarField) Evaluate(c *par.Comm, srcPos [][3]float64, srcQ []float64,
 
 // FMMFarField is the default far-field backend: the kernel-independent FMM
 // at the given accuracy configuration.
-func FMMFarField(fc FMMConfig) FarField {
+func FMMFarField(fc FMMConfig) FarField { return fmmFarFieldWith(fc, nil) }
+
+// fmmFarFieldWith builds the FMM backend with a telemetry registry attached
+// so the per-pass FMM spans land next to the operator's own.
+func fmmFarFieldWith(fc FMMConfig, tel *telemetry.Registry) FarField {
 	return &fmmFarField{name: "fmm", eval: fmm.NewEvaluator(fmm.Config{
 		Kernel:      kernels.StokesDoubleTensor{},
 		Order:       fc.Order,
 		LeafSize:    fc.LeafSize,
 		DirectBelow: fc.DirectBelow,
+		Tel:         tel,
 	})}
 }
 
@@ -102,6 +108,11 @@ type Options struct {
 	// Near overrides the near-field backend (nil = Plan, or the rank-local
 	// partial plan).
 	Near NearField
+	// Tel, when non-nil, receives the operator's spans and solve statistics
+	// (bie.matvec with its far/near split, bie.solve, bie.gmres.*) plus the
+	// FMM per-pass spans of the default far-field backend. Nil costs nothing
+	// on the hot path.
+	Tel *telemetry.Registry
 }
 
 // Option mutates Options (the functional-option constructor style).
@@ -125,6 +136,9 @@ func WithFarField(f FarField) Option { return func(o *Options) { o.Far = f } }
 // WithNearField overrides the near-field backend.
 func WithNearField(n NearField) Option { return func(o *Options) { o.Near = n } }
 
+// WithTelemetry attaches a metrics registry to the operator (see Options.Tel).
+func WithTelemetry(r *telemetry.Registry) Option { return func(o *Options) { o.Tel = r } }
+
 // NewWallOperator builds the wall operator for this rank's patch range.
 // In the local mode the near-field corrections come, in order of
 // preference, from an explicit NearField backend, a shared prebuilt plan,
@@ -137,12 +151,12 @@ func NewWallOperator(c *par.Comm, s *Surface, opts ...Option) *Solver {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	sv := &Solver{S: s, Mode: o.Mode, rank: c.Rank(), size: c.Size()}
+	sv := &Solver{S: s, Mode: o.Mode, rank: c.Rank(), size: c.Size(), tel: o.Tel}
 	sv.patchLo, sv.patchHi = s.F.OwnerRange(sv.size, sv.rank)
 	sv.nodeLo, sv.nodeHi = sv.patchLo*s.NQ, sv.patchHi*s.NQ
 	sv.far = o.Far
 	if sv.far == nil {
-		sv.far = FMMFarField(o.FMM)
+		sv.far = fmmFarFieldWith(o.FMM, o.Tel)
 	}
 	sv.acPool.New = func() any { return newAdaptiveCtx(s.P.QuadNodes) }
 
@@ -181,6 +195,15 @@ func NewWallOperator(c *par.Comm, s *Surface, opts ...Option) *Solver {
 // nil). Returns the rank-local solution and the GMRES diagnostics. maxIter
 // mirrors the paper's 30-iteration cap (§5.1). Collective.
 func Solve(c *par.Comm, op WallOperator, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, la.GMRESResult) {
+	// Operators that carry a registry (notably *Solver) get the solve span
+	// and GMRES statistics recorded no matter which entry point ran the
+	// solve — the stepper calls this function directly.
+	var tel *telemetry.Registry
+	if t, ok := op.(interface{ TelemetryRegistry() *telemetry.Registry }); ok {
+		tel = t.TelemetryRegistry()
+	}
+	stop := telemetry.Start(tel, "bie.solve")
+	defer stop()
 	n := len(rhs)
 	x := make([]float64, n)
 	if phi0 != nil {
@@ -199,6 +222,15 @@ func Solve(c *par.Comm, op WallOperator, rhs, phi0 []float64, tol float64, maxIt
 	})
 	if err != nil {
 		panic("bie: GMRES failure: " + err.Error())
+	}
+	if tel != nil {
+		tel.Counter("bie.gmres.solves").Add(1)
+		tel.Counter("bie.gmres.iterations").Add(int64(res.Iterations))
+		tel.Gauge("bie.gmres.residual").Set(res.Residual)
+		iter := tel.Histogram("bie.gmres.iteration")
+		for _, s := range res.IterSec {
+			iter.Observe(s)
+		}
 	}
 	return x, res
 }

@@ -6,12 +6,15 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"rbcflow/internal/telemetry"
 )
 
 // PlanVersion is bumped whenever the on-disk plan layout or the numerics
@@ -307,6 +310,14 @@ func PlanPath(dir, fingerprint string) string {
 	return filepath.Join(dir, fingerprint+".qplan")
 }
 
+// planWarn holds the one-shot warning state per degraded-cache cause: the
+// cache is best-effort, so failures must not kill the run, but they must
+// also not be silent — each cause logs once per process and counts in the
+// registry on every occurrence.
+var planWarn struct {
+	corrupt, incompatible, store sync.Once
+}
+
 // PlanFor returns the correction plan of s, consulting the content-addressed
 // disk cache under cacheDir first (empty = no cache). A cache miss builds
 // the plan with the given worker count and stores it for the next process;
@@ -314,18 +325,52 @@ func PlanPath(dir, fingerprint string) string {
 // trusted. The store is best-effort: an unwritable cache degrades to an
 // uncached build — the freshly built plan is always returned and must not
 // take the run (or every sweep point sharing the geometry) down with it.
-func PlanFor(s *Surface, workers int, cacheDir string) (*QuadPlan, PlanSource, error) {
+//
+// Every cache outcome is observable: reg (nil ok) counts
+// bie.plan.cache.{hit,miss,corrupt,incompatible,store_error} and times
+// builds under the bie.plan.build span, and each degraded-cache cause
+// (corrupt entry, incompatible entry, failed store) additionally logs one
+// warning per process. These counters are invocation-scoped — they depend on
+// the cache state this process found, like the manifest's PlanStats — so
+// consumers strip the "bie.plan." prefix from resume-stable aggregates.
+func PlanFor(s *Surface, workers int, cacheDir string, reg *telemetry.Registry) (*QuadPlan, PlanSource, error) {
 	fp := PlanFingerprint(s)
 	if cacheDir != "" {
-		if p, err := LoadPlan(PlanPath(cacheDir, fp)); err == nil {
-			if err := p.Compatible(s); err == nil {
+		path := PlanPath(cacheDir, fp)
+		p, err := LoadPlan(path)
+		switch {
+		case err == nil:
+			if cerr := p.Compatible(s); cerr == nil {
+				reg.Counter("bie.plan.cache.hit").Inc()
 				return p, PlanDisk, nil
+			} else {
+				reg.Counter("bie.plan.cache.incompatible").Inc()
+				planWarn.incompatible.Do(func() {
+					log.Printf("bie: plan cache entry %s is incompatible, rebuilding: %v", path, cerr)
+				})
 			}
+		case os.IsNotExist(err):
+			reg.Counter("bie.plan.cache.miss").Inc()
+		default:
+			// The file exists but could not be read or decoded: a corrupt
+			// entry (torn write from a pre-atomic-rename era, bit rot, or a
+			// foreign file under the cache key). Rebuild and overwrite.
+			reg.Counter("bie.plan.cache.corrupt").Inc()
+			planWarn.corrupt.Do(func() {
+				log.Printf("bie: plan cache entry %s is unreadable, rebuilding: %v", path, err)
+			})
 		}
 	}
+	stop := telemetry.Start(reg, "bie.plan.build")
 	p := BuildQuadPlan(s, workers)
+	stop()
 	if cacheDir != "" {
-		_ = SavePlan(PlanPath(cacheDir, fp), p) // best-effort store
+		if err := SavePlan(PlanPath(cacheDir, fp), p); err != nil {
+			reg.Counter("bie.plan.cache.store_error").Inc()
+			planWarn.store.Do(func() {
+				log.Printf("bie: plan cache store failed (continuing uncached): %v", err)
+			})
+		}
 	}
 	return p, PlanBuilt, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 )
 
 // lightParams is the fast discretization used by the short-lane tests.
@@ -180,18 +181,30 @@ func TestPlanFingerprint(t *testing.T) {
 }
 
 // TestPlanForDiskCache: cold build stores, warm call loads; corrupt entries
-// are rebuilt; partial plans refuse to serialize.
+// are rebuilt; partial plans refuse to serialize. Every outcome is counted
+// in the registry, so none of the cache's failure modes stays silent.
 func TestPlanForDiskCache(t *testing.T) {
 	s := planSphere()
 	dir := t.TempDir()
-	p1, src1, err := PlanFor(s, 2, dir)
+	reg := telemetry.NewRegistry()
+	counts := func(want map[string]int64) {
+		t.Helper()
+		for name, v := range want {
+			if got := reg.Counter("bie.plan.cache." + name).Value(); got != v {
+				t.Fatalf("counter bie.plan.cache.%s = %d, want %d", name, got, v)
+			}
+		}
+	}
+	p1, src1, err := PlanFor(s, 2, dir, reg)
 	if err != nil || src1 != PlanBuilt {
 		t.Fatalf("cold: source %q err %v", src1, err)
 	}
-	p2, src2, err := PlanFor(s, 2, dir)
+	counts(map[string]int64{"miss": 1, "hit": 0, "corrupt": 0, "store_error": 0})
+	p2, src2, err := PlanFor(s, 2, dir, reg)
 	if err != nil || src2 != PlanDisk {
 		t.Fatalf("warm: source %q err %v", src2, err)
 	}
+	counts(map[string]int64{"miss": 1, "hit": 1, "corrupt": 0, "store_error": 0})
 	samePlan(t, p1, p2, "cold-vs-warm")
 
 	// Corrupt the entry: the next request must rebuild, not trust it.
@@ -199,10 +212,11 @@ func TestPlanForDiskCache(t *testing.T) {
 	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p3, src3, err := PlanFor(s, 2, dir)
+	p3, src3, err := PlanFor(s, 2, dir, reg)
 	if err != nil || src3 != PlanBuilt {
 		t.Fatalf("corrupt entry: source %q err %v", src3, err)
 	}
+	counts(map[string]int64{"miss": 1, "hit": 1, "corrupt": 1, "store_error": 0})
 	samePlan(t, p1, p3, "rebuilt-after-corruption")
 
 	partial := buildPartialPlan(s, 0, s.NQ, 1)
@@ -217,11 +231,24 @@ func TestPlanForDiskCache(t *testing.T) {
 	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p4, src4, err := PlanFor(s, 2, filepath.Join(blocked, "cache"))
+	p4, src4, err := PlanFor(s, 2, filepath.Join(blocked, "cache"), reg)
 	if err != nil || src4 != PlanBuilt || p4 == nil {
 		t.Fatalf("unwritable cache: plan %v source %q err %v", p4 != nil, src4, err)
 	}
+	// The load under a blocked path errors with ENOTDIR (unreadable, not
+	// absent), so it counts as a second corrupt entry; the failed store is
+	// what the store_error counter pins.
+	counts(map[string]int64{"miss": 1, "hit": 1, "corrupt": 2, "store_error": 1})
 	samePlan(t, p1, p4, "unwritable-cache-build")
+
+	// The build span counted every non-hit materialization; a nil registry
+	// is a supported no-op.
+	if n := reg.Snapshot().CounterMap()["bie.plan.build.count"]; n != 3 {
+		t.Fatalf("bie.plan.build span count = %d, want 3", n)
+	}
+	if _, _, err := PlanFor(s, 2, dir, nil); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
 }
 
 // TestPlanCompatibleRejects: a plan built for one surface cannot drive

@@ -9,6 +9,7 @@ import (
 	"rbcflow/internal/la"
 	"rbcflow/internal/par"
 	"rbcflow/internal/quadrature"
+	"rbcflow/internal/telemetry"
 )
 
 // Mode selects how the double-layer operator is applied.
@@ -49,6 +50,10 @@ type Solver struct {
 	nodeLo     int
 	nodeHi     int
 	checkPts   [][3]float64 // owned nodes' check points, (p+1) per node
+
+	// tel receives the operator's spans and solve statistics; nil disables
+	// all recording at no hot-path cost.
+	tel *telemetry.Registry
 
 	histMu       sync.Mutex
 	gmresHistory []la.GMRESResult
@@ -179,6 +184,7 @@ func addDLBlock(m []float64, stride, mm int, x, y, n [3]float64, w float64) {
 // Apply computes the Nyström operator (1/2 I + D + N)ϕ for the rank-local
 // density segment (owned patches, 3·NQ values each). Collective.
 func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
+	defer telemetry.Start(sv.tel, "bie.matvec")()
 	s := sv.S
 	nq := s.NQ
 	nOwned := sv.nodeHi - sv.nodeLo
@@ -203,11 +209,14 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 		prev := c.Label()
 		c.SetLabel("BIE-FMM")
+		stopFar := telemetry.Start(sv.tel, "bie.matvec.far")
 		u = sv.far.Evaluate(c, srcPos, srcQ, s.Pts[sv.nodeLo:sv.nodeHi])
+		stopFar()
 		c.SetLabel(prev)
 
 		phiAll, _ := par.AllgathervFlat(c, phiLocal)
 		c.AllreduceSum(fluxArr)
+		stopNear := telemetry.Start(sv.tel, "bie.matvec.near")
 		for k := 0; k < nOwned; k++ {
 			dst := u[3*k : 3*k+3]
 			for _, cb := range sv.near.Blocks(sv.nodeLo + k) {
@@ -227,6 +236,7 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 			dst[1] += 0.5 * phiLocal[3*k+1]
 			dst[2] += 0.5 * phiLocal[3*k+2]
 		}
+		stopNear()
 	} else {
 		// Global mode: upsample owned density, evaluate at check points via
 		// one fine-grid far-field sum, extrapolate.
@@ -245,7 +255,9 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 		}
 		prev := c.Label()
 		c.SetLabel("BIE-FMM")
+		stopFar := telemetry.Start(sv.tel, "bie.matvec.far")
 		uChk := sv.far.Evaluate(c, finePos, fineQ, sv.checkPts)
+		stopFar()
 		c.SetLabel(prev)
 		c.AllreduceSum(fluxArr)
 
@@ -278,8 +290,12 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 }
 
 // Solve runs distributed GMRES on (1/2 I + D + N)ϕ = rhs (see the
-// package-level Solve, which works for any WallOperator) and records the
-// diagnostics in the solver's history.
+// package-level Solve, which works for any WallOperator), records the
+// diagnostics in the solver's history, and — when a registry is attached —
+// publishes the solve statistics: the bie.solve span, the
+// bie.gmres.{solves,iterations} counters, the bie.gmres.residual gauge, and
+// one bie.gmres.iteration observation per Krylov iteration. GMRES overhead
+// is derivable as the bie.solve span total minus the bie.matvec span total.
 func (sv *Solver) Solve(c *par.Comm, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, la.GMRESResult) {
 	x, res := Solve(c, sv, rhs, phi0, tol, maxIter)
 	sv.histMu.Lock()
@@ -287,6 +303,11 @@ func (sv *Solver) Solve(c *par.Comm, rhs, phi0 []float64, tol float64, maxIter i
 	sv.histMu.Unlock()
 	return x, res
 }
+
+// TelemetryRegistry exposes the operator's metrics sink (nil when none was
+// attached); the package-level Solve probes it so solves record their span
+// and GMRES statistics from either entry point.
+func (sv *Solver) TelemetryRegistry() *telemetry.Registry { return sv.tel }
 
 // LastGMRES returns the diagnostics of the most recent solve (zero value if
 // none).

@@ -1,12 +1,19 @@
 package collision
 
-import "rbcflow/internal/par"
+import (
+	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
+)
 
 // ResolveParams configures the NCP loop.
 type ResolveParams struct {
 	MinSep   float64
 	Mobility float64 // Δt/drag scaling from contact force to displacement
 	MaxNCP   int     // LCP linearizations (the paper uses about seven)
+	// Tel, when non-nil, counts collision.contacts and
+	// collision.ncp.iterations and times each call under the
+	// collision.resolve span. Nil costs nothing.
+	Tel *telemetry.Registry
 }
 
 // Resolve runs the NCP loop of paper §4 on the rank-local deformable meshes:
@@ -24,6 +31,13 @@ func Resolve(c *par.Comm, pairs [][2]int, byID map[int]*Mesh, localIDs map[int]b
 	if prm.MaxNCP == 0 {
 		prm.MaxNCP = 7
 	}
+	defer telemetry.Start(prm.Tel, "collision.resolve")()
+	defer func() {
+		if prm.Tel != nil {
+			prm.Tel.Counter("collision.contacts").Add(int64(contacts))
+			prm.Tel.Counter("collision.ncp.iterations").Add(int64(iters))
+		}
+	}()
 	total := 0
 	for it := 0; it < prm.MaxNCP; it++ {
 		iters = it + 1

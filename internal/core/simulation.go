@@ -8,6 +8,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"rbcflow/internal/bie"
 	"rbcflow/internal/collision"
@@ -16,6 +17,7 @@ import (
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/telemetry"
 )
 
 // Config configures a simulation.
@@ -53,6 +55,14 @@ type Config struct {
 	// position: hooks may call collectives, e.g. to gather centroids, but
 	// must not mutate simulation state).
 	OnStep func(c *par.Comm, s *Simulation, step int, st StepStats)
+	// Telemetry, when non-nil, receives the step spans (core.step plus the
+	// per-phase core.step.* breakdown), the operator/solve metrics of the
+	// wall operator, the FMM per-pass spans of both evaluators, and the
+	// collision NCP counters. All ranks record into it (it is
+	// concurrency-safe); counter values therefore scale with the rank count
+	// but stay deterministic for a fixed one. Nil disables all recording at
+	// no hot-path cost.
+	Telemetry *telemetry.Registry
 }
 
 // Defaults fills zero fields with sensible values.
@@ -113,6 +123,11 @@ type StepStats struct {
 	Contacts       int
 	NCPIters       int
 	CellsInContact int
+	// PhaseSec is the wall-clock breakdown of this step by phase (forces,
+	// boundary, intercell, implicit, collision, commit) in seconds — the
+	// per-step complement of the registry's cumulative core.step.* spans.
+	// Wall-clock measurements: report them, never compare them.
+	PhaseSec map[string]float64
 }
 
 // New builds a simulation. cells are the global cell list; each rank keeps
@@ -131,13 +146,15 @@ func New(c *par.Comm, cfg Config, cells []*rbc.Cell, surf *bie.Surface, g []floa
 		Order:       cfg.FMM.Order,
 		LeafSize:    cfg.FMM.LeafSize,
 		DirectBelow: cfg.FMM.DirectBelow,
+		Tel:         cfg.Telemetry,
 	})
 	if surf != nil {
 		s.Solver = bie.NewWallOperator(c, surf,
 			bie.WithMode(cfg.BIEMode),
 			bie.WithFMM(cfg.FMM),
 			bie.WithWorkers(cfg.PrecomputeWorkers),
-			bie.WithPlan(cfg.WallPlan))
+			bie.WithPlan(cfg.WallPlan),
+			bie.WithTelemetry(cfg.Telemetry))
 		plo, phi := surf.F.OwnerRange(c.Size(), c.Rank())
 		nOwn := (phi - plo) * surf.NQ
 		s.G = make([]float64, 3*nOwn)
@@ -171,8 +188,19 @@ func (s *Simulation) cellForce(cell *rbc.Cell, geo *rbc.Geometry) [3][]float64 {
 // Step advances the system by Δt (collective).
 func (s *Simulation) Step(c *par.Comm) StepStats {
 	cfg := s.Cfg
-	stats := StepStats{}
+	stats := StepStats{PhaseSec: map[string]float64{}}
 	c.SetLabel("Other")
+	defer telemetry.Start(cfg.Telemetry, "core.step")()
+	mark := time.Now()
+	endPhase := func(name string) {
+		now := time.Now()
+		d := now.Sub(mark).Seconds()
+		stats.PhaseSec[name] += d
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.Histogram("core.step." + name).Observe(d)
+		}
+		mark = now
+	}
 
 	// (0) Geometry, forces, and FMM source data for the rank-local cells.
 	nLoc := len(s.Cells)
@@ -195,6 +223,8 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 				forces[i][0][k]*w[k], forces[i][1][k]*w[k], forces[i][2][k]*w[k])
 		}
 	}
+
+	endPhase("forces")
 
 	// (1a–1b) u^fr on Γ and the boundary solve for ϕ.
 	var uGammaCells []float64
@@ -225,6 +255,7 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		cls := s.Surf.F.ClosestPoints(c, srcPos, dEps)
 		uGammaCells = s.Solver.EvalVelocity(c, s.phi, srcPos, cls)
 	}
+	endPhase("boundary")
 
 	// (1d) Explicit inter-cell contribution: FMM over all cells minus the
 	// smooth self term (the accurate self term is implicit).
@@ -239,6 +270,7 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 			}
 		}
 	}
+	endPhase("intercell")
 
 	// (2) Per-cell locally-implicit update to candidate positions.
 	candidates := make([]*rbc.Cell, nLoc)
@@ -276,12 +308,14 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		}, b, fext)
 		candidates[i] = cand
 	}
+	endPhase("implicit")
 
 	// (3) Collision NCP loop (paper §4).
 	if cfg.CollisionOn {
 		c.SetLabel("COL")
 		stats.Contacts, stats.NCPIters = s.resolveCollisions(c, candidates)
 	}
+	endPhase("collision")
 
 	// (4) Commit and filter.
 	c.SetLabel("Other")
@@ -293,6 +327,7 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 			cell.Filter(0.1)
 		}
 	}
+	endPhase("commit")
 	s.LastStats = stats
 	s.StepCount++
 	if cfg.OnStep != nil {
@@ -383,6 +418,7 @@ func (s *Simulation) resolveCollisions(c *par.Comm, candidates []*rbc.Cell) (con
 		MinSep:   s.Cfg.MinSep,
 		Mobility: s.Cfg.Dt / s.Cfg.Mu,
 		MaxNCP:   7,
+		Tel:      s.Cfg.Telemetry,
 	})
 	// Apply displacements back to the candidate grids.
 	for i, m := range localMeshes {

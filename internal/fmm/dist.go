@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 )
 
 // EvaluateDist computes the global N-body sum with sources and targets
@@ -49,11 +50,15 @@ func EvaluateDist(c *par.Comm, e *Evaluator, srcPos [][3]float64, srcQ []float64
 		return e.Direct(allPos, allQ, trgPos)
 	}
 
+	stopBuild := telemetry.Start(e.cfg.Tel, "fmm.tree.build")
 	t := buildTree(e.cfg, lo, hi, allPos, allQ, e.ci)
+	stopBuild()
 
 	// Partial upward pass over this rank's block of occupied leaves.
+	stopUp := telemetry.Start(e.cfg.Tel, "fmm.upward")
 	leafLo, leafHi := par.BlockRange(len(t.leafOrder), c.Size(), c.Rank())
 	e.upward(t, leafLo, leafHi)
+	stopUp()
 
 	// All-reduce multipoles in a deterministic box order.
 	flat, index := flattenMultipoles(t, ds, e.ci.nn)
@@ -61,6 +66,7 @@ func EvaluateDist(c *par.Comm, e *Evaluator, srcPos [][3]float64, srcQ []float64
 	unflattenMultipoles(t, ds, e.ci.nn, flat, index)
 
 	// Downward pass restricted to ancestors of local target leaves.
+	defer telemetry.Start(e.cfg.Tel, "fmm.downward")()
 	needed := make([]map[uint64]bool, t.depth+1)
 	for l := range needed {
 		needed[l] = map[uint64]bool{}

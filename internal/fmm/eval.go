@@ -2,6 +2,8 @@ package fmm
 
 import (
 	"math"
+
+	"rbcflow/internal/telemetry"
 )
 
 // Evaluator performs fast summation for a fixed kernel and accuracy order.
@@ -20,6 +22,7 @@ func NewEvaluator(cfg Config) *Evaluator {
 // Direct computes the exact N-body sum (used below the DirectBelow
 // threshold, for verification, and as the P2P microkernel).
 func (e *Evaluator) Direct(srcPos [][3]float64, srcQ []float64, trgPos [][3]float64) []float64 {
+	defer telemetry.Start(e.cfg.Tel, "fmm.direct")()
 	ds := e.cfg.Kernel.SrcDim()
 	do := e.cfg.Kernel.OutDim()
 	out := make([]float64, len(trgPos)*do)
@@ -41,8 +44,13 @@ func (e *Evaluator) Evaluate(srcPos [][3]float64, srcQ []float64, trgPos [][3]fl
 		return e.Direct(srcPos, srcQ, trgPos)
 	}
 	lo, hi := bbox(srcPos, trgPos)
+	stopBuild := telemetry.Start(e.cfg.Tel, "fmm.tree.build")
 	t := buildTree(e.cfg, lo, hi, srcPos, srcQ, e.ci)
+	stopBuild()
+	stopUp := telemetry.Start(e.cfg.Tel, "fmm.upward")
 	e.upward(t, 0, len(t.leafOrder))
+	stopUp()
+	defer telemetry.Start(e.cfg.Tel, "fmm.downward")()
 	return e.downward(t, trgPos, nil)
 }
 

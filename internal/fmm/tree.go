@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rbcflow/internal/kernels"
+	"rbcflow/internal/telemetry"
 )
 
 // boxKey packs integer box coordinates at a level into a single key.
@@ -48,6 +49,10 @@ type Config struct {
 	// DirectBelow forces direct summation when nSrc*nTrg is at or below this
 	// threshold (default 16384). Direct summation is exact.
 	DirectBelow int
+	// Tel, when non-nil, receives per-pass spans (fmm.tree.build,
+	// fmm.upward, fmm.downward, fmm.direct) from every evaluation. Nil
+	// costs nothing on the hot path.
+	Tel *telemetry.Registry
 }
 
 func (c *Config) defaults() {

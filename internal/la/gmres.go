@@ -3,6 +3,7 @@ package la
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Operator applies a linear operator to x, writing the result into dst.
@@ -28,12 +29,20 @@ type GMRESOptions struct {
 	Dot DotFunc
 }
 
-// GMRESResult reports the outcome of a GMRES solve.
+// GMRESResult reports the outcome of a GMRES solve, including its wall-time
+// cost so solver time is attributable (per solve and per iteration) even
+// when no telemetry registry is attached to the caller.
 type GMRESResult struct {
 	Iterations int
 	Residual   float64 // final relative residual estimate
 	Converged  bool
 	History    []float64 // relative residual after each iteration
+	// WallSec is the total wall time of the solve.
+	WallSec float64
+	// IterSec[i] is the wall time of Krylov iteration i (operator
+	// application plus orthogonalization); len(IterSec) == len(History).
+	// Wall-clock measurements — never part of a deterministic comparison.
+	IterSec []float64
 }
 
 func (o *GMRESOptions) defaults() {
@@ -56,6 +65,11 @@ func (o *GMRESOptions) defaults() {
 // guess on entry and the solution on return.
 func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error) {
 	opt.defaults()
+	start := time.Now()
+	finish := func(r GMRESResult) GMRESResult {
+		r.WallSec = time.Since(start).Seconds()
+		return r
+	}
 	n := len(b)
 	if len(x) != n {
 		return GMRESResult{}, fmt.Errorf("la: GMRES size mismatch len(b)=%d len(x)=%d", n, len(x))
@@ -66,7 +80,7 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 	bnorm := norm(b)
 	if bnorm == 0 {
 		Zero(x)
-		return GMRESResult{Converged: true, Residual: 0}, nil
+		return finish(GMRESResult{Converged: true, Residual: 0}), nil
 	}
 
 	m := opt.Restart
@@ -93,7 +107,7 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 		if rel <= opt.Tol {
 			res.Converged = true
 			res.Residual = rel
-			return res, nil
+			return finish(res), nil
 		}
 		copy(V[0], r)
 		Scale(1/beta, V[0])
@@ -105,6 +119,7 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 		k := 0
 		for ; k < m && total < opt.MaxIters; k++ {
 			total++
+			iterStart := time.Now()
 			apply(w, V[k])
 			// Modified Gram-Schmidt.
 			for i := 0; i <= k; i++ {
@@ -139,6 +154,7 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 
 			rel = math.Abs(g[k+1]) / bnorm
 			res.History = append(res.History, rel)
+			res.IterSec = append(res.IterSec, time.Since(iterStart).Seconds())
 			if rel <= opt.Tol {
 				k++
 				break
@@ -152,7 +168,7 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 				s -= H.At(i, j) * y[j]
 			}
 			if H.At(i, i) == 0 {
-				return res, fmt.Errorf("la: GMRES breakdown, zero diagonal in Hessenberg at %d", i)
+				return finish(res), fmt.Errorf("la: GMRES breakdown, zero diagonal in Hessenberg at %d", i)
 			}
 			y[i] = s / H.At(i, i)
 		}
@@ -163,8 +179,8 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 		res.Residual = rel
 		if rel <= opt.Tol {
 			res.Converged = true
-			return res, nil
+			return finish(res), nil
 		}
 	}
-	return res, nil
+	return finish(res), nil
 }

@@ -161,6 +161,46 @@ func TestGMRESRandomSPDish(t *testing.T) {
 	}
 }
 
+// TestGMRESWallTime: the solve reports total and per-iteration wall time —
+// one entry per recorded residual, all non-negative, summing to no more than
+// the total — so solver cost is attributable without a telemetry registry.
+func TestGMRESWallTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 40
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = 0.2 * rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+4)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(m.MulVec, b, x, GMRESOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallSec <= 0 {
+		t.Errorf("WallSec = %g, want > 0", res.WallSec)
+	}
+	if len(res.IterSec) != len(res.History) {
+		t.Fatalf("len(IterSec) = %d, len(History) = %d", len(res.IterSec), len(res.History))
+	}
+	var sum float64
+	for i, s := range res.IterSec {
+		if s < 0 {
+			t.Errorf("IterSec[%d] = %g, want >= 0", i, s)
+		}
+		sum += s
+	}
+	if sum > res.WallSec {
+		t.Errorf("sum(IterSec) %g exceeds WallSec %g", sum, res.WallSec)
+	}
+}
+
 func TestGMRESRestart(t *testing.T) {
 	// Force restarts with small Krylov dimension.
 	rng := rand.New(rand.NewSource(3))

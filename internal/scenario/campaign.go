@@ -13,6 +13,7 @@ import (
 
 	"rbcflow/internal/bie"
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 )
 
 // CampaignConfig describes a parameter-sweep campaign: a family of
@@ -178,7 +179,19 @@ type RunRecord struct {
 	// per-fingerprint counts are deterministic.
 	PlanFingerprint string `json:"plan_fingerprint,omitempty"`
 
-	planSource string // "built" | "disk" | "memory"; aggregation only
+	// Telemetry and TelemetryGauges are the deterministic core of the run's
+	// final metrics snapshot — counter values and span counts, and gauge
+	// values — stripped of the invocation-scoped "bie.plan." prefix, so they
+	// are bit-identical across checkpoint/resume for a fixed rank count.
+	Telemetry       map[string]int64   `json:"telemetry,omitempty"`
+	TelemetryGauges map[string]float64 `json:"telemetry_gauges,omitempty"`
+	// TelemetrySeconds reports each span's cumulative wall-clock seconds.
+	// Measurements, not part of the deterministic manifest core: they vary
+	// run to run and resume to resume.
+	TelemetrySeconds map[string]float64 `json:"telemetry_seconds,omitempty"`
+
+	planSource   string           // "built" | "disk" | "memory"; aggregation only
+	telemetryAll map[string]int64 // full counter map incl. bie.plan.*; aggregation only
 }
 
 // PlanStat is one wall-plan entry of the campaign manifest: how many runs
@@ -194,12 +207,19 @@ type PlanStat struct {
 // <outdir>/manifest.json: runs appear in sweep-expansion order with their
 // status and outputs, and PlanStats lists the wall plans consumed, sorted
 // by fingerprint. It carries no timestamps and no scheduling-dependent
-// fields, so a campaign is reproduced byte-for-byte by re-running it from
+// fields, so — apart from the explicitly wall-clock telemetry_seconds
+// reporting — a campaign is reproduced byte-for-byte by re-running it from
 // the same starting state (fresh output dir and plan cache).
 type Manifest struct {
 	Config    CampaignConfig `json:"config"`
 	Runs      []RunRecord    `json:"runs"`
 	PlanStats []PlanStat     `json:"plan_stats,omitempty"`
+	// TelemetryTotals sums every run's full counter map — INCLUDING the
+	// invocation-scoped "bie.plan." counters, which are deterministic at
+	// campaign scope for a fixed starting cache state (each geometry misses
+	// once cold, hits once warm) even though a resumed individual run
+	// re-counts them.
+	TelemetryTotals map[string]int64 `json:"telemetry_totals,omitempty"`
 }
 
 // OKCount returns how many runs finished ("ok" or "geometry-only").
@@ -306,11 +326,31 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest,
 	close(jobs)
 	wg.Wait()
 
-	m := &Manifest{Config: *cfg, Runs: records, PlanStats: aggregatePlanStats(records)}
+	m := &Manifest{
+		Config:          *cfg,
+		Runs:            records,
+		PlanStats:       aggregatePlanStats(records),
+		TelemetryTotals: aggregateTelemetry(records),
+	}
 	if err := WriteManifest(filepath.Join(outDir, "manifest.json"), m); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// aggregateTelemetry sums the per-run full counter maps into the campaign
+// totals (nil when no run recorded anything).
+func aggregateTelemetry(records []RunRecord) map[string]int64 {
+	var out map[string]int64
+	for _, r := range records {
+		for k, v := range r.telemetryAll {
+			if out == nil {
+				out = map[string]int64{}
+			}
+			out[k] += v
+		}
+	}
+	return out
 }
 
 // aggregatePlanStats folds the per-run plan provenance into deterministic
@@ -403,6 +443,9 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 			r.Outputs = []string{relPath(outDir, wallPath)}
 			return
 		}
+		// Every run records into its own registry, so per-run aggregates are
+		// independent of worker scheduling and rank interleaving across runs.
+		reg := telemetry.NewRegistry()
 		outcome, err := Execute(b, RunOptions{
 			Ranks:             cfg.Ranks,
 			Machine:           machine,
@@ -414,6 +457,7 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 			SurfaceRes:        cfg.SurfaceRes,
 			PrecomputeWorkers: cfg.PrecomputeWorkers,
 			PlanCache:         cfg.PlanCache,
+			Telemetry:         reg,
 		})
 		if err != nil {
 			r.Status, r.Error = "failed", err.Error()
@@ -422,6 +466,11 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 		r.Status = "ok"
 		r.PlanFingerprint = outcome.PlanFingerprint
 		r.planSource = outcome.PlanSource
+		telCore := outcome.Telemetry.Without("bie.plan.")
+		r.Telemetry = telCore.CounterMap()
+		r.TelemetryGauges = telCore.GaugeMap()
+		r.TelemetrySeconds = outcome.Telemetry.SecondsMap()
+		r.telemetryAll = outcome.Telemetry.CounterMap()
 		r.Steps = outcome.Steps
 		r.ResumedFrom = outcome.ResumedFrom
 		r.NumCells = len(outcome.Centroids)

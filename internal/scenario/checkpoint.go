@@ -8,6 +8,7 @@ import (
 
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/telemetry"
 )
 
 // CheckpointVersion is bumped whenever the snapshot layout changes; Load
@@ -74,6 +75,14 @@ type Checkpoint struct {
 	RNG uint64
 	// Ledger is the accumulated virtual-time accounting at Step.
 	Ledger par.Ledger
+	// Telemetry is the run's cumulative metrics snapshot at Step, already
+	// stripped of invocation-scoped metrics (the "bie.plan." prefix, which
+	// depends on the cache state each process finds). Restoring it into the
+	// resumed run's registry makes the deterministic core — counters, gauges,
+	// span counts — accumulate exactly as an uninterrupted run's. Zero when
+	// the run carried no registry (gob tolerates the field's absence in old
+	// snapshots the same way).
+	Telemetry telemetry.Snapshot
 }
 
 // CellsFromState rebuilds live cells from checkpointed state.

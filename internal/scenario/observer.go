@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"rbcflow/internal/par"
+	"rbcflow/internal/telemetry"
 )
 
 // ObsRow is one step's scalar observables (gathered globally on rank 0).
@@ -91,21 +92,24 @@ func truncateCSVAfterStep(path string, maxStep int) error {
 //	centroids.csv   — one row per (step, cell)
 //	timings.csv     — one row per checkpoint segment with the virtual-time
 //	                  breakdown by category
+//	telemetry.csv   — one row per (segment, metric): the cumulative registry
+//	                  snapshot flattened at every checkpoint boundary
 type Observer struct {
-	dir                 string
-	obs, cents, timings *csvFile
+	dir                      string
+	obs, cents, timings, tel *csvFile
 }
 
 const (
 	obsHeader     = "step,time,cells,gmres_iters,contacts,ncp_iters,mean_x,mean_y,mean_z,cell_volume,volume_err"
 	centsHeader   = "step,cell,x,y,z"
 	timingsHeader = "step_end,segment,virtual_time,col,bie_solve,bie_fmm,other_fmm,other,comm_bytes,phases"
+	telHeader     = "step_end,segment," + telemetry.CSVHeader
 )
 
-// NewObserver opens the three CSVs under dir, first rewinding any rows past
+// NewObserver opens the four CSVs under dir, first rewinding any rows past
 // resumedStep (use 0 for a fresh run).
 func NewObserver(dir string, resumedStep int) (*Observer, error) {
-	for _, name := range []string{"observables.csv", "centroids.csv", "timings.csv"} {
+	for _, name := range []string{"observables.csv", "centroids.csv", "timings.csv", "telemetry.csv"} {
 		if err := truncateCSVAfterStep(filepath.Join(dir, name), resumedStep); err != nil {
 			return nil, err
 		}
@@ -122,6 +126,12 @@ func NewObserver(dir string, resumedStep int) (*Observer, error) {
 	if o.timings, err = openCSV(filepath.Join(dir, "timings.csv"), timingsHeader); err != nil {
 		o.obs.Close()
 		o.cents.Close()
+		return nil, err
+	}
+	if o.tel, err = openCSV(filepath.Join(dir, "telemetry.csv"), telHeader); err != nil {
+		o.obs.Close()
+		o.cents.Close()
+		o.timings.Close()
 		return nil, err
 	}
 	return o, nil
@@ -155,10 +165,21 @@ func (o *Observer) RecordSegment(segment, stepEnd int, l par.Ledger) error {
 	return nil
 }
 
-// Close flushes and closes all three files.
+// RecordTelemetry appends one row per metric of the cumulative registry
+// snapshot at a checkpoint boundary and flushes, mirroring RecordSegment's
+// step_end-first layout so the resume rewind applies unchanged. A zero
+// snapshot (telemetry off) writes nothing.
+func (o *Observer) RecordTelemetry(segment, stepEnd int, s telemetry.Snapshot) error {
+	for _, row := range s.CSVRows() {
+		fmt.Fprintf(o.tel.bw, "%d,%d,%s\n", stepEnd, segment, row)
+	}
+	return o.tel.bw.Flush()
+}
+
+// Close flushes and closes all four files.
 func (o *Observer) Close() error {
 	var first error
-	for _, c := range []*csvFile{o.obs, o.cents, o.timings} {
+	for _, c := range []*csvFile{o.obs, o.cents, o.timings, o.tel} {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -172,5 +193,6 @@ func (o *Observer) Files() []string {
 		filepath.Join(o.dir, "observables.csv"),
 		filepath.Join(o.dir, "centroids.csv"),
 		filepath.Join(o.dir, "timings.csv"),
+		filepath.Join(o.dir, "telemetry.csv"),
 	}
 }

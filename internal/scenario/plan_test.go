@@ -37,16 +37,16 @@ func planTestGeom() *Geom {
 func TestGeomWallPlanSharing(t *testing.T) {
 	dir := t.TempDir()
 	g := planTestGeom()
-	p1, src1, err := g.WallPlan(2, dir)
+	p1, src1, err := g.WallPlan(2, dir, nil)
 	if err != nil || src1 != bie.PlanBuilt {
 		t.Fatalf("first call: source %q err %v", src1, err)
 	}
-	p2, src2, err := g.WallPlan(2, dir)
+	p2, src2, err := g.WallPlan(2, dir, nil)
 	if err != nil || src2 != bie.PlanShared || p2 != p1 {
 		t.Fatalf("second call: source %q plan-shared=%v err %v", src2, p2 == p1, err)
 	}
 	g2 := planTestGeom()
-	p3, src3, err := g2.WallPlan(2, dir)
+	p3, src3, err := g2.WallPlan(2, dir, nil)
 	if err != nil || src3 != bie.PlanDisk {
 		t.Fatalf("fresh geom: source %q err %v", src3, err)
 	}

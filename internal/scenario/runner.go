@@ -10,6 +10,7 @@ import (
 	"rbcflow/internal/core"
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/telemetry"
 )
 
 // RunOptions configures one checkpointed execution of a scenario bundle.
@@ -49,6 +50,13 @@ type RunOptions struct {
 	// fingerprint, so equal geometry reuses one plan across sweep points,
 	// campaign invocations, and checkpoint resumes.
 	PlanCache string
+
+	// Telemetry, when non-nil, collects the run's metrics: the registry is
+	// threaded into every layer (operator, FMM, collision, step phases and
+	// plan cache), restored from the checkpoint's snapshot on resume, written
+	// to telemetry.csv at every checkpoint boundary, and returned in
+	// RunOutcome.Telemetry. Nil runs with telemetry fully off.
+	Telemetry *telemetry.Registry
 }
 
 func (o *RunOptions) defaults() {
@@ -75,6 +83,11 @@ type RunOutcome struct {
 	// when the run needed no plan (free space, ModeGlobal, nothing to step).
 	PlanFingerprint string
 	PlanSource      string
+	// Telemetry is the final cumulative registry snapshot (zero when the run
+	// carried no registry). Its counter/gauge/span-count core is
+	// deterministic for a fixed rank count, except under the "bie.plan."
+	// prefix, whose counters depend on the cache state this process found.
+	Telemetry telemetry.Snapshot
 }
 
 func totalVolume(cells []*rbc.Cell) float64 {
@@ -124,6 +137,9 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 				ledger = ck.Ledger
 				v0 = ck.V0
 				out.ResumedFrom = ck.Step
+				// Continue the metrics accumulation where the checkpoint
+				// left it (no-op on a nil registry or a zero snapshot).
+				opt.Telemetry.Restore(ck.Telemetry)
 			case os.IsNotExist(err):
 				// fresh run
 			default:
@@ -141,9 +157,9 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		var src bie.PlanSource
 		var err error
 		if b.Geom != nil {
-			wallPlan, src, err = b.Geom.WallPlan(opt.PrecomputeWorkers, opt.PlanCache)
+			wallPlan, src, err = b.Geom.WallPlan(opt.PrecomputeWorkers, opt.PlanCache, opt.Telemetry)
 		} else {
-			wallPlan, src, err = bie.PlanFor(b.Surf, opt.PrecomputeWorkers, opt.PlanCache)
+			wallPlan, src, err = bie.PlanFor(b.Surf, opt.PrecomputeWorkers, opt.PlanCache, opt.Telemetry)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: wall plan: %w", b.Scenario, err)
@@ -204,6 +220,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		var lastStats core.StepStats
 		cfg := b.Config
 		cfg.WallPlan = wallPlan
+		cfg.Telemetry = opt.Telemetry
 		cfg.OnStep = func(c *par.Comm, sim *core.Simulation, step int, st core.StepStats) {
 			parts := par.Allgatherv(c, sim.Centroids())
 			vol := sim.TotalCellVolume(c)
@@ -276,6 +293,14 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			if err := obs.RecordSegment(segment, segEnd, segLedger); err != nil {
 				return nil, err
 			}
+			// The checkpointed snapshot drops invocation-scoped metrics
+			// (plan-cache provenance): a resumed process re-counts its own
+			// cache encounters, and the resume-stable core must not carry the
+			// interrupted process's.
+			telSnap := opt.Telemetry.Snapshot().Without("bie.plan.")
+			if err := obs.RecordTelemetry(segment, segEnd, telSnap); err != nil {
+				return nil, err
+			}
 			if err := SaveCheckpoint(ckptPath, &Checkpoint{
 				Scenario:  b.Scenario,
 				ParamsSig: b.Params.Signature(),
@@ -285,6 +310,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 				V0:        v0,
 				RNG:       rng.State,
 				Ledger:    ledger,
+				Telemetry: telSnap,
 			}); err != nil {
 				return nil, err
 			}
@@ -319,5 +345,6 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 	}
 	out.Ledger = ledger
 	out.ResumedFrom = resumedFrom
+	out.Telemetry = opt.Telemetry.Snapshot()
 	return out, nil
 }

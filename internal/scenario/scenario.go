@@ -16,6 +16,7 @@ import (
 	"rbcflow/internal/core"
 	"rbcflow/internal/network"
 	"rbcflow/internal/rbc"
+	"rbcflow/internal/telemetry"
 	"rbcflow/internal/vessel"
 )
 
@@ -48,14 +49,16 @@ type Geom struct {
 // every later caller. The returned source records how THIS call was
 // satisfied: "built"/"disk" for the one materializing call, "memory" for
 // the rest — deterministic counts even under concurrent campaign workers.
-func (g *Geom) WallPlan(workers int, cacheDir string) (*bie.QuadPlan, bie.PlanSource, error) {
+// reg (nil ok) receives the materializing call's cache counters and build
+// span; only the caller that triggers the materialization records them.
+func (g *Geom) WallPlan(workers int, cacheDir string, reg *telemetry.Registry) (*bie.QuadPlan, bie.PlanSource, error) {
 	if g.Surf == nil {
 		return nil, "", fmt.Errorf("scenario: geometry has no wall surface to plan for")
 	}
 	materialized := false
 	g.planOnce.Do(func() {
 		materialized = true
-		g.plan, g.planSrc, g.planErr = bie.PlanFor(g.Surf, workers, cacheDir)
+		g.plan, g.planSrc, g.planErr = bie.PlanFor(g.Surf, workers, cacheDir, reg)
 	})
 	if g.planErr != nil {
 		return nil, "", g.planErr

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSONFile dumps a snapshot as indented JSON — the -telemetry-out
+// payload of the cmd drivers. Counters, gauges, and span counts are the
+// deterministic core; the seconds fields are wall-clock measurements.
+func WriteJSONFile(path string, s Snapshot) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

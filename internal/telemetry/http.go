@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WriteText renders a snapshot in a flat, line-oriented text format (one
+// metric per line, Prometheus-flavoured), the payload of the /metrics
+// endpoint.
+func WriteText(w io.Writer, s Snapshot) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%s %.12g\n", g.Name, g.Value)
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(w, "%s_count %d\n", sp.Name, sp.Count)
+		fmt.Fprintf(w, "%s_total_seconds %.9g\n", sp.Name, sp.TotalS)
+		if sp.Count > 0 {
+			fmt.Fprintf(w, "%s_min_seconds %.9g\n", sp.Name, sp.MinS)
+			fmt.Fprintf(w, "%s_max_seconds %.9g\n", sp.Name, sp.MaxS)
+		}
+		for i, b := range sp.Buckets {
+			if i < len(sp.Edges) {
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", sp.Name, sp.Edges[i], b)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", sp.Name, b)
+			}
+		}
+	}
+}
+
+// Handler serves the registry's current snapshot as text at every request.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, r.Snapshot())
+	})
+}
+
+// NewDebugMux builds the debug endpoint set of a long-running driver (and
+// the seam a future serve daemon mounts wholesale): /metrics with the
+// registry text dump plus the standard net/http/pprof profiling handlers
+// under /debug/pprof/.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr in a background goroutine and
+// returns the bound address (useful with ":0") and a shutdown func. The
+// listener is best-effort observability: serve errors after Close are
+// swallowed.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,517 @@
+// Package telemetry is the observability layer of the system: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, fixed-bucket
+// histograms) plus a span/phase-timer API, designed so the solver hot paths
+// can be instrumented permanently and pay (almost) nothing when no registry
+// is attached.
+//
+// Design rules (see DESIGN.md "Observability"):
+//
+//   - Every API is nil-safe: a nil *Registry hands out nil metrics whose
+//     methods are no-ops, and Start(nil, ...) returns a shared no-op stop
+//     function without allocating. Instrumented code never branches on
+//     "telemetry enabled".
+//   - Metric names are dot-separated lowercase paths, layer first
+//     ("bie.matvec.far", "fmm.tree.build", "collision.ncp.iterations").
+//     Spans are named for the phase they time; counters end in a plural
+//     noun; gauges end in the quantity they sample.
+//   - Snapshots are deterministically ordered (sorted by name), and the
+//     deterministic core of a snapshot — counter values, gauge values, span
+//     counts — is bit-stable across reruns and checkpoint/resume for a fixed
+//     rank count. Durations (span sums, min/max, bucket occupancy) are
+//     wall-clock measurements and are reported but never part of the
+//     deterministic core.
+//   - Recording is concurrency-safe and lock-free on the hot path (atomics);
+//     the registry lock is taken only to create or look up a metric.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DurationBuckets is the default histogram bucketing for span durations in
+// seconds: decades from 1µs to 100s. Fixed edges keep Observe allocation-free
+// and make bucket occupancy comparable across runs and machines.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+
+// Histogram is a fixed-bucket histogram with an exact count, sum, min and
+// max. Bucket i counts observations v <= Edges[i]; one overflow bucket
+// catches the rest. The count is deterministic for a deterministic workload;
+// sum/min/max/buckets are measurements.
+type Histogram struct {
+	edges   []float64
+	buckets []atomic.Int64 // len(edges)+1, last = overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(edges []float64) *Histogram {
+	h := &Histogram{edges: edges, buckets: make([]atomic.Int64, len(edges)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Edges returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Edges() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.edges
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.edges, v) // first edge >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// Time returns a stop function that observes the elapsed seconds since the
+// call. On a nil histogram it returns a shared no-op without allocating.
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return nopStop
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (seconds for spans).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+var nopStop = func() {}
+
+// Registry holds named metrics. The zero value is not usable; construct with
+// NewRegistry. A nil *Registry is a valid "telemetry off" handle: every
+// lookup returns a nil metric and every record is a no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// default duration buckets; nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, DurationBuckets)
+}
+
+// HistogramWith returns (creating if needed) the named histogram with the
+// given bucket edges (ascending upper bounds). Edges are fixed at creation;
+// later calls return the existing histogram regardless of edges.
+func (r *Registry) HistogramWith(name string, edges []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(edges)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Start begins a span: the returned stop function observes the elapsed wall
+// time into the named duration histogram. Start(nil, ...) is a no-op that
+// performs no allocation — the hot-path contract that lets spans live
+// permanently inside Apply/Step/Resolve.
+func Start(r *Registry, name string) func() {
+	if r == nil {
+		return nopStop
+	}
+	return r.Histogram(name).Time()
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// SpanValue is one histogram in a snapshot. Count belongs to the
+// deterministic core; the seconds fields and bucket occupancy are wall-clock
+// measurements.
+type SpanValue struct {
+	Name    string    `json:"name"`
+	Count   int64     `json:"count"`
+	TotalS  float64   `json:"total_s"`
+	MinS    float64   `json:"min_s"`
+	MaxS    float64   `json:"max_s"`
+	Edges   []float64 `json:"edges,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, deterministically ordered
+// (each section sorted by name). It is the exchange format for the JSON dump
+// (-telemetry-out), the CSV pipeline, the /metrics endpoint, and checkpoint
+// persistence.
+type Snapshot struct {
+	Counters []CounterValue `json:"counters,omitempty"`
+	Gauges   []GaugeValue   `json:"gauges,omitempty"`
+	Spans    []SpanValue    `json:"spans,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe to call concurrently
+// with recording; each metric is read atomically (the snapshot as a whole is
+// not a consistent cut, which only matters mid-flight — quiesced registries
+// snapshot exactly).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		sv := SpanValue{
+			Name:   name,
+			Count:  h.count.Load(),
+			TotalS: math.Float64frombits(h.sumBits.Load()),
+			Edges:  h.edges,
+		}
+		mn := math.Float64frombits(h.minBits.Load())
+		mx := math.Float64frombits(h.maxBits.Load())
+		if sv.Count > 0 {
+			sv.MinS, sv.MaxS = mn, mx
+		}
+		sv.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			sv.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Spans = append(s.Spans, sv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	return s
+}
+
+// Restore loads a snapshot into the registry, REPLACING the state of every
+// metric present in the snapshot (metrics not in the snapshot are left
+// untouched). This is the checkpoint-resume path: restoring the snapshot
+// saved at step k and stepping to n accumulates exactly what an
+// uninterrupted run to n records in the deterministic core.
+func (r *Registry) Restore(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, cv := range s.Counters {
+		c := r.Counter(cv.Name)
+		c.v.Store(cv.Value)
+	}
+	for _, gv := range s.Gauges {
+		r.Gauge(gv.Name).Set(gv.Value)
+	}
+	for _, sv := range s.Spans {
+		edges := sv.Edges
+		if edges == nil {
+			edges = DurationBuckets
+		}
+		h := r.HistogramWith(sv.Name, edges)
+		h.count.Store(sv.Count)
+		h.sumBits.Store(math.Float64bits(sv.TotalS))
+		if sv.Count > 0 {
+			h.minBits.Store(math.Float64bits(sv.MinS))
+			h.maxBits.Store(math.Float64bits(sv.MaxS))
+		} else {
+			h.minBits.Store(math.Float64bits(math.Inf(1)))
+			h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+		}
+		for i := range h.buckets {
+			if i < len(sv.Buckets) {
+				h.buckets[i].Store(sv.Buckets[i])
+			} else {
+				h.buckets[i].Store(0)
+			}
+		}
+	}
+}
+
+// Without returns a copy of the snapshot with every metric whose name starts
+// with one of the prefixes removed. Used to strip invocation-scoped metrics
+// (e.g. plan-cache provenance, which depends on the cache state this process
+// found, like the manifest's PlanStats) from the checkpoint-persisted,
+// resume-stable core.
+func (s Snapshot) Without(prefixes ...string) Snapshot {
+	drop := func(name string) bool {
+		for _, p := range prefixes {
+			if len(name) >= len(p) && name[:len(p)] == p {
+				return true
+			}
+		}
+		return false
+	}
+	out := Snapshot{}
+	for _, c := range s.Counters {
+		if !drop(c.Name) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !drop(g.Name) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, sp := range s.Spans {
+		if !drop(sp.Name) {
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	return out
+}
+
+// CounterMap returns name -> value for all counters plus every span's count
+// as "<name>.count" — the deterministic-core integer view used by the
+// campaign manifest.
+func (s Snapshot) CounterMap() map[string]int64 {
+	if len(s.Counters) == 0 && len(s.Spans) == 0 {
+		return nil
+	}
+	m := make(map[string]int64, len(s.Counters)+len(s.Spans))
+	for _, c := range s.Counters {
+		m[c.Name] = c.Value
+	}
+	for _, sp := range s.Spans {
+		m[sp.Name+".count"] = sp.Count
+	}
+	return m
+}
+
+// GaugeMap returns name -> value for all gauges.
+func (s Snapshot) GaugeMap() map[string]float64 {
+	if len(s.Gauges) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(s.Gauges))
+	for _, g := range s.Gauges {
+		m[g.Name] = g.Value
+	}
+	return m
+}
+
+// SecondsMap returns name -> total seconds for all spans (the wall-clock,
+// non-deterministic complement of CounterMap).
+func (s Snapshot) SecondsMap() map[string]float64 {
+	if len(s.Spans) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(s.Spans))
+	for _, sp := range s.Spans {
+		m[sp.Name] = sp.TotalS
+	}
+	return m
+}
+
+// Span returns the named span value and whether it exists.
+func (s Snapshot) Span(name string) (SpanValue, bool) {
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return SpanValue{}, false
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// CSVHeader is the flat row schema of WriteCSVRows, designed to prefix
+// naturally with (step_end, segment) columns in the scenario timings
+// pipeline.
+const CSVHeader = "name,kind,count,value,total_s,min_s,max_s"
+
+// CSVRows renders the snapshot as flat CSV rows matching CSVHeader (no
+// header, no trailing newline handling — callers own the writer).
+func (s Snapshot) CSVRows() []string {
+	rows := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Spans))
+	for _, c := range s.Counters {
+		rows = append(rows, fmt.Sprintf("%s,counter,%d,%d,,,", c.Name, c.Value, c.Value))
+	}
+	for _, g := range s.Gauges {
+		rows = append(rows, fmt.Sprintf("%s,gauge,,%.12g,,,", g.Name, g.Value))
+	}
+	for _, sp := range s.Spans {
+		rows = append(rows, fmt.Sprintf("%s,span,%d,,%.9g,%.9g,%.9g", sp.Name, sp.Count, sp.TotalS, sp.MinS, sp.MaxS))
+	}
+	return rows
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterDeterminismUnderConcurrency: the counter total is exact (not
+// approximate) under heavy concurrent recording, and the snapshot ordering
+// is stable. The CI race lane runs this under -race.
+func TestCounterDeterminismUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("a.events").Inc()
+				r.Counter("b.events").Add(2)
+				r.Histogram("c.span").Observe(1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("a.events"); got != workers*perWorker {
+		t.Errorf("a.events = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Counter("b.events"); got != 2*workers*perWorker {
+		t.Errorf("b.events = %d, want %d", got, 2*workers*perWorker)
+	}
+	sp, ok := s.Span("c.span")
+	if !ok || sp.Count != workers*perWorker {
+		t.Errorf("c.span count = %+v, want %d", sp, workers*perWorker)
+	}
+	// Snapshot ordering is sorted by name — the determinism the manifest
+	// relies on.
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.events" || s.Counters[1].Name != "b.events" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	// Two snapshots of a quiesced registry are identical.
+	s2 := r.Snapshot()
+	b1, _ := json.Marshal(s)
+	b2, _ := json.Marshal(s2)
+	if string(b1) != string(b2) {
+		t.Error("snapshots of a quiesced registry differ")
+	}
+}
+
+// TestHistogramBucketEdges pins the le-semantics of the fixed buckets:
+// bucket i counts v <= edge[i], with one overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	sp, _ := r.Snapshot().Span("h")
+	// v <= 1: {0.5, 1}; 1 < v <= 10: {1.0000001, 10}; 10 < v <= 100: {99, 100}; > 100: {1000}
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if sp.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (buckets %v)", i, sp.Buckets[i], w, sp.Buckets)
+		}
+	}
+	if sp.Count != 7 {
+		t.Errorf("count = %d, want 7", sp.Count)
+	}
+	if sp.MinS != 0.5 || sp.MaxS != 1000 {
+		t.Errorf("min/max = %g/%g, want 0.5/1000", sp.MinS, sp.MaxS)
+	}
+	if math.Abs(sp.TotalS-(0.5+1+1.0000001+10+99+100+1000)) > 1e-9 {
+		t.Errorf("sum = %g", sp.TotalS)
+	}
+}
+
+// TestNoOpPathZeroAlloc: with no registry attached, spans and counters must
+// not allocate — the contract that lets instrumentation live permanently in
+// Apply/Step/Resolve.
+func TestNoOpPathZeroAlloc(t *testing.T) {
+	var r *Registry
+	if a := testing.AllocsPerRun(1000, func() {
+		stop := Start(r, "bie.matvec")
+		stop()
+	}); a != 0 {
+		t.Errorf("Start(nil) allocates %.1f per op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		r.Counter("x").Inc()
+		r.Gauge("y").Set(1)
+		r.Histogram("z").Observe(1)
+	}); a != 0 {
+		t.Errorf("nil registry metrics allocate %.1f per op, want 0", a)
+	}
+}
+
+// TestRestoreRoundTrip: snapshot -> restore -> snapshot is identity, and
+// continued recording accumulates on top — the checkpoint/resume contract.
+func TestRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n.iters").Add(7)
+	r.Gauge("n.residual").Set(1e-9)
+	h := r.Histogram("n.span")
+	h.Observe(0.5e-3)
+	h.Observe(2e-3)
+	s := r.Snapshot()
+
+	r2 := NewRegistry()
+	r2.Restore(s)
+	b1, _ := json.Marshal(s)
+	b2, _ := json.Marshal(r2.Snapshot())
+	if string(b1) != string(b2) {
+		t.Fatalf("restore is not identity:\n%s\n%s", b1, b2)
+	}
+	r2.Counter("n.iters").Add(3)
+	r2.Histogram("n.span").Observe(1e-3)
+	s2 := r2.Snapshot()
+	if s2.Counter("n.iters") != 10 {
+		t.Errorf("resumed counter = %d, want 10", s2.Counter("n.iters"))
+	}
+	if sp, _ := s2.Span("n.span"); sp.Count != 3 {
+		t.Errorf("resumed span count = %d, want 3", sp.Count)
+	}
+}
+
+func TestWithoutStripsPrefixes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bie.plan.cache.hits").Inc()
+	r.Counter("bie.gmres.iterations").Add(5)
+	r.Histogram("bie.plan.build").Observe(1)
+	s := r.Snapshot().Without("bie.plan.")
+	if s.Counter("bie.plan.cache.hits") != 0 || len(s.Spans) != 0 {
+		t.Errorf("prefix not stripped: %+v", s)
+	}
+	if s.Counter("bie.gmres.iterations") != 5 {
+		t.Errorf("unrelated counter lost")
+	}
+}
+
+func TestSpanTimes(t *testing.T) {
+	r := NewRegistry()
+	stop := Start(r, "sleepy")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	sp, ok := r.Snapshot().Span("sleepy")
+	if !ok || sp.Count != 1 || sp.TotalS < 1e-3 {
+		t.Errorf("span = %+v, want count 1 and >= 1ms", sp)
+	}
+}
+
+// TestDebugEndpoint: /metrics serves the text dump and /debug/pprof/ answers.
+func TestDebugEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv.requests").Add(3)
+	Start(r, "srv.span")()
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	body := get("/metrics")
+	if !strings.Contains(body, "srv.requests 3") || !strings.Contains(body, "srv.span_count 1") {
+		t.Errorf("unexpected /metrics body:\n%s", body)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "pprof") {
+		t.Error("pprof index not served")
+	}
+}
+
+func TestCSVRows(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(4)
+	r.Gauge("b.value").Set(2.5)
+	r.Histogram("c.span").Observe(0.25)
+	rows := r.Snapshot().CSVRows()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %v", rows)
+	}
+	for _, row := range rows {
+		if n := strings.Count(row, ","); n != strings.Count(CSVHeader, ",") {
+			t.Errorf("row %q has %d commas, header has %d", row, n, strings.Count(CSVHeader, ","))
+		}
+	}
+}

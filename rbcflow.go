@@ -29,6 +29,7 @@ import (
 	"rbcflow/internal/patch"
 	"rbcflow/internal/rbc"
 	"rbcflow/internal/scenario"
+	"rbcflow/internal/telemetry"
 	"rbcflow/internal/vessel"
 )
 
@@ -101,6 +102,14 @@ type (
 	CampaignManifest = scenario.Manifest
 	// Ledger is a virtual-time accounting snapshot.
 	Ledger = par.Ledger
+
+	// TelemetryRegistry is the process-wide metrics sink (counters, gauges,
+	// histograms, phase spans); a nil registry disables all recording at
+	// negligible cost. Attach one via Config.Telemetry / RunOptions.Telemetry.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry, serializable
+	// (gob/JSON) and restorable for checkpoint/resume continuity.
+	TelemetrySnapshot = telemetry.Snapshot
 )
 
 // BIE operator modes.
@@ -139,12 +148,13 @@ func NewWallOperator(c *Comm, s *Surface, opts ...OperatorOption) *bie.Solver {
 }
 
 // Wall-operator options.
-func WithOperatorMode(m bie.Mode) OperatorOption      { return bie.WithMode(m) }
-func WithOperatorFMM(fc FMMConfig) OperatorOption     { return bie.WithFMM(fc) }
-func WithPrecomputeWorkers(n int) OperatorOption      { return bie.WithWorkers(n) }
-func WithWallPlan(p *QuadPlan) OperatorOption         { return bie.WithPlan(p) }
-func WithFarFieldBackend(f FarField) OperatorOption   { return bie.WithFarField(f) }
-func WithNearFieldBackend(n NearField) OperatorOption { return bie.WithNearField(n) }
+func WithOperatorMode(m bie.Mode) OperatorOption        { return bie.WithMode(m) }
+func WithOperatorFMM(fc FMMConfig) OperatorOption       { return bie.WithFMM(fc) }
+func WithPrecomputeWorkers(n int) OperatorOption        { return bie.WithWorkers(n) }
+func WithWallPlan(p *QuadPlan) OperatorOption           { return bie.WithPlan(p) }
+func WithFarFieldBackend(f FarField) OperatorOption     { return bie.WithFarField(f) }
+func WithNearFieldBackend(n NearField) OperatorOption   { return bie.WithNearField(n) }
+func WithTelemetry(r *TelemetryRegistry) OperatorOption { return bie.WithTelemetry(r) }
 
 // DirectFarField is the exact-summation far-field backend (verification
 // reference and small-surface fast path); FMMFarField the default FMM one.
@@ -161,9 +171,10 @@ func WallPlanFingerprint(s *Surface) string { return bie.PlanFingerprint(s) }
 
 // WallPlanFor returns the plan of s through the content-addressed disk
 // cache under cacheDir ("" = always build); the source reports "built" or
-// "disk".
-func WallPlanFor(s *Surface, workers int, cacheDir string) (*QuadPlan, string, error) {
-	p, src, err := bie.PlanFor(s, workers, cacheDir)
+// "disk". reg (nil ok) counts the cache outcome (hit/miss/corrupt/
+// incompatible/store_error) and times the build.
+func WallPlanFor(s *Surface, workers int, cacheDir string, reg *TelemetryRegistry) (*QuadPlan, string, error) {
+	p, src, err := bie.PlanFor(s, workers, cacheDir, reg)
 	return p, string(src), err
 }
 
@@ -370,6 +381,24 @@ func ExecuteScenario(b *ScenarioBundle, opt RunOptions) (*RunOutcome, error) {
 // worker pool, writing a deterministic manifest to outDir.
 func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*CampaignManifest, error) {
 	return scenario.RunCampaign(cfg, outDir, logw)
+}
+
+// NewTelemetryRegistry creates an empty metrics registry. Share one across
+// the subsystems of a run (operator, stepper, scenario executor) to collect
+// the full per-phase breakdown; see DESIGN.md, "Observability".
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// ServeTelemetry starts the optional debug HTTP listener (/metrics text dump
+// plus net/http/pprof) on addr, returning the bound address (useful with
+// ":0") and a shutdown func.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (string, func() error, error) {
+	return telemetry.ServeDebug(addr, reg)
+}
+
+// WriteTelemetryJSON dumps a snapshot as indented JSON (the -telemetry-out
+// format of the cmd drivers).
+func WriteTelemetryJSON(path string, s TelemetrySnapshot) error {
+	return telemetry.WriteJSONFile(path, s)
 }
 
 // SaveCheckpoint / LoadCheckpoint expose the versioned gob snapshots.

@@ -1,0 +1,67 @@
+package rbcflow_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rbcflow"
+)
+
+// TestTelemetrySpanDecomposition is the observability acceptance check: on
+// the grade-2 capped-tube solve, the operator's telemetry breakdown must
+// account for the measured wall time — the far + near spans sum to within
+// 10% of the matvec span, and far + near + GMRES overhead (solve span minus
+// matvec span) lands within 10% of the externally timed solve.
+func TestTelemetrySpanDecomposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full capped-tube solve")
+	}
+	prm := rbcflow.BIEParams{QuadNodes: 5, Eta: 1, ExtrapOrder: 3, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.6}
+	surf, cc := rbcflow.CappedTubeVessel(0, 1, 6, 2, prm)
+	bc := cc.Inflow(surf, math.Pi/2)
+	reg := rbcflow.NewTelemetryRegistry()
+	var iters int
+	var wallSolve float64
+	rbcflow.Run(1, rbcflow.SKX(), func(c *rbcflow.Comm) {
+		op := rbcflow.NewWallOperator(c, surf,
+			rbcflow.WithOperatorFMM(rbcflow.FMMConfig{DirectBelow: 1 << 40}),
+			rbcflow.WithTelemetry(reg))
+		t0 := time.Now()
+		_, res := op.Solve(c, bc, nil, 1e-6, 45)
+		wallSolve = time.Since(t0).Seconds()
+		iters = res.Iterations
+	})
+	if iters == 0 {
+		t.Fatal("solve did not iterate")
+	}
+
+	snap := reg.Snapshot()
+	sec := snap.SecondsMap()
+	counts := snap.CounterMap()
+
+	if counts["bie.gmres.solves"] != 1 || counts["bie.gmres.iterations"] != int64(iters) {
+		t.Fatalf("gmres counters wrong: solves=%d iters=%d want 1/%d",
+			counts["bie.gmres.solves"], counts["bie.gmres.iterations"], iters)
+	}
+	if counts["bie.matvec.count"] == 0 || counts["bie.matvec.count"] != counts["bie.matvec.far.count"] {
+		t.Fatalf("matvec span counts inconsistent: %d total, %d far",
+			counts["bie.matvec.count"], counts["bie.matvec.far.count"])
+	}
+
+	mv, far, near, solve := sec["bie.matvec"], sec["bie.matvec.far"], sec["bie.matvec.near"], sec["bie.solve"]
+	if mv <= 0 || far <= 0 || near <= 0 || solve < mv {
+		t.Fatalf("span totals implausible: matvec=%g far=%g near=%g solve=%g", mv, far, near, solve)
+	}
+	if d := math.Abs(mv - (far + near)); d > 0.10*mv {
+		t.Errorf("far (%g) + near (%g) off matvec total (%g) by %.1f%%, want <= 10%%",
+			far, near, mv, 100*d/mv)
+	}
+	// The consumer-facing accounting identity: far + near + GMRES overhead
+	// explains the externally measured solve wall time.
+	overhead := solve - mv
+	if sum := far + near + overhead; math.Abs(sum-wallSolve) > 0.10*wallSolve {
+		t.Errorf("far+near+overhead (%g) off measured solve wall (%g) by %.1f%%, want <= 10%%",
+			sum, wallSolve, 100*math.Abs(sum-wallSolve)/wallSolve)
+	}
+}
