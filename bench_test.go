@@ -247,7 +247,11 @@ func BenchmarkCappedSolve(b *testing.B) {
 				"benchmark": "BenchmarkCappedSolve",
 				"geometry":  "capped-tube r=1 L=6 (order 6, NV 4)",
 				"note":      "equal accuracy target: GMRES relative residual 1e-6",
-				"cases":     []caseOut{ungraded, graded},
+				// Recorded so cmd/benchdiff can refuse to gate timings across
+				// differently-parallel runners (a 1-core CI artifact is not a
+				// regression against a laptop baseline).
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"cases":      []caseOut{ungraded, graded},
 			}, "", "  ")
 			if err == nil {
 				_ = os.WriteFile("BENCH_capgrading.json", append(blob, '\n'), 0o644)
@@ -258,7 +262,8 @@ func BenchmarkCappedSolve(b *testing.B) {
 				"note": "plan build wall time vs worker count (wall-clock; speedup is" +
 					" bounded by available cores), plan-cache cold store vs warm load," +
 					" and cached-plan GMRES reproducibility",
-				"operator": op,
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"operator":   op,
 			}, "", "  ")
 			if err == nil {
 				_ = os.WriteFile("BENCH_operator.json", append(blob, '\n'), 0o644)

@@ -1,0 +1,232 @@
+// Command benchdiff compares two BENCH_*.json artifacts (the machine-readable
+// benchmark emissions of bench_test.go) and prints per-phase deltas: wall-time
+// leaves (phase_seconds, *_s) as old → new ratios, count leaves (phase_counts,
+// iters, nodes) as exact changes. It exits nonzero when any timing grew beyond
+// -threshold, making it usable as a CI regression gate:
+//
+//	benchdiff -threshold 0.25 old/BENCH_operator.json new/BENCH_operator.json
+//
+// Artifacts record the gomaxprocs they were produced under; when the two
+// files disagree (e.g. a laptop baseline vs a 1-core CI runner), timings are
+// not comparable, so benchdiff prints the deltas but does NOT fail on them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "fail when a timing grows by more than this fraction (0.25 = +25%)")
+	strictCounts := flag.Bool("strict-counts", false, "also fail when any count leaf changed")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] [-strict-counts] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldLeaves, err := loadLeaves(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newLeaves, err := loadLeaves(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := diff(oldLeaves, newLeaves, *threshold)
+	d.print(os.Stdout)
+	if len(d.Regressions) > 0 && d.Comparable {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d timing regression(s) beyond %+.0f%%\n",
+			len(d.Regressions), 100**threshold)
+		os.Exit(1)
+	}
+	if *strictCounts && len(d.CountChanges) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d count change(s) with -strict-counts\n", len(d.CountChanges))
+		os.Exit(1)
+	}
+}
+
+// loadLeaves parses a BENCH JSON file and flattens every numeric leaf to a
+// dotted path ("operator.phase_seconds.bie.matvec", "cases.1.solve_s").
+func loadLeaves(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	leaves := map[string]float64{}
+	flatten("", v, leaves)
+	return leaves, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			flatten(join(prefix, k), e, out)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(join(prefix, fmt.Sprint(i)), e, out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func join(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "." + k
+}
+
+// isTiming classifies a leaf as wall-clock: anything under phase_seconds,
+// any *_s leaf, and the speedup ratios derived from them.
+func isTiming(path string) bool {
+	if strings.Contains(path, "phase_seconds.") {
+		return true
+	}
+	last := path
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		last = path[i+1:]
+	}
+	return strings.HasSuffix(last, "_s") || strings.Contains(last, "speedup")
+}
+
+// isCount classifies a leaf as deterministic-exact: phase_counts plus the
+// discrete solver outputs.
+func isCount(path string) bool {
+	if strings.Contains(path, "phase_counts.") {
+		return true
+	}
+	last := path
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		last = path[i+1:]
+	}
+	switch last {
+	case "iters", "nodes", "workers", "gomaxprocs", "residual_history_bit_identical":
+		return true
+	}
+	return false
+}
+
+type row struct {
+	Path     string
+	Old, New float64
+}
+
+type result struct {
+	Timings      []row
+	CountChanges []row
+	Regressions  []string
+	OnlyOld      []string
+	OnlyNew      []string
+	// Comparable is false when the two artifacts record different
+	// gomaxprocs: their wall-clock numbers came from different parallel
+	// budgets, so timing regressions are reported but not enforced.
+	Comparable         bool
+	GomaxOld, GomaxNew float64
+	threshold          float64
+}
+
+func gomaxprocs(leaves map[string]float64) float64 {
+	for path, v := range leaves {
+		last := path
+		if i := strings.LastIndex(path, "."); i >= 0 {
+			last = path[i+1:]
+		}
+		if last == "gomaxprocs" {
+			return v
+		}
+	}
+	return 0
+}
+
+func diff(oldLeaves, newLeaves map[string]float64, threshold float64) *result {
+	d := &result{Comparable: true, threshold: threshold}
+	d.GomaxOld, d.GomaxNew = gomaxprocs(oldLeaves), gomaxprocs(newLeaves)
+	if d.GomaxOld != d.GomaxNew {
+		d.Comparable = false
+	}
+	paths := make([]string, 0, len(oldLeaves))
+	for p := range oldLeaves {
+		if _, ok := newLeaves[p]; ok {
+			paths = append(paths, p)
+		} else {
+			d.OnlyOld = append(d.OnlyOld, p)
+		}
+	}
+	for p := range newLeaves {
+		if _, ok := oldLeaves[p]; !ok {
+			d.OnlyNew = append(d.OnlyNew, p)
+		}
+	}
+	sort.Strings(paths)
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	for _, p := range paths {
+		ov, nv := oldLeaves[p], newLeaves[p]
+		switch {
+		case isTiming(p):
+			d.Timings = append(d.Timings, row{p, ov, nv})
+			// Only slowdowns in real seconds gate; speedup ratios are
+			// derived and already covered by their inputs.
+			if !strings.Contains(p, "speedup") && ov > 0 && (nv-ov)/ov > threshold {
+				d.Regressions = append(d.Regressions, p)
+			}
+		case isCount(p):
+			if ov != nv {
+				d.CountChanges = append(d.CountChanges, row{p, ov, nv})
+			}
+		}
+	}
+	return d
+}
+
+func (d *result) print(w *os.File) {
+	if !d.Comparable {
+		fmt.Fprintf(w, "WARNING: artifacts recorded different gomaxprocs (%g vs %g); timings are informational only\n",
+			d.GomaxOld, d.GomaxNew)
+	}
+	fmt.Fprintf(w, "%-56s %12s %12s %9s\n", "timing", "old", "new", "delta")
+	for _, r := range d.Timings {
+		delta := "n/a"
+		if r.Old > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.New-r.Old)/r.Old)
+		}
+		marker := ""
+		for _, reg := range d.Regressions {
+			if reg == r.Path {
+				marker = "  <-- regression"
+			}
+		}
+		fmt.Fprintf(w, "%-56s %12.6g %12.6g %9s%s\n", r.Path, r.Old, r.New, delta, marker)
+	}
+	if len(d.CountChanges) > 0 {
+		fmt.Fprintf(w, "count changes:\n")
+		for _, r := range d.CountChanges {
+			fmt.Fprintf(w, "  %-54s %g -> %g\n", r.Path, r.Old, r.New)
+		}
+	}
+	for _, p := range d.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", p)
+	}
+	for _, p := range d.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", p)
+	}
+}

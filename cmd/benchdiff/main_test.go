@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeJSON(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlattenLeaves(t *testing.T) {
+	path := writeJSON(t, "a.json", `{
+		"benchmark": "X",
+		"operator": {
+			"gomaxprocs": 8,
+			"phase_seconds": {"bie.solve": 1.5},
+			"phase_counts": {"bie.gmres.solves": 4},
+			"workers": [{"workers": 1, "build_s": 2.0}]
+		},
+		"cases": [{"grade": -1, "solve_s": 3.0, "iters": 40}]
+	}`)
+	leaves, err := loadLeaves(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"operator.gomaxprocs":                    8,
+		"operator.phase_seconds.bie.solve":       1.5,
+		"operator.phase_counts.bie.gmres.solves": 4,
+		"operator.workers.0.workers":             1,
+		"operator.workers.0.build_s":             2.0,
+		"cases.0.grade":                          -1,
+		"cases.0.solve_s":                        3.0,
+		"cases.0.iters":                          40,
+	}
+	for k, v := range want {
+		if leaves[k] != v {
+			t.Errorf("leaf %s = %g, want %g", k, leaves[k], v)
+		}
+	}
+	if _, ok := leaves["benchmark"]; ok {
+		t.Error("string leaf must not flatten to a number")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	timing := []string{
+		"operator.phase_seconds.bie.matvec.far",
+		"cases.0.solve_s",
+		"operator.plan_cache_cold_s",
+		"operator.warm_speedup",
+	}
+	for _, p := range timing {
+		if !isTiming(p) {
+			t.Errorf("isTiming(%s) = false", p)
+		}
+	}
+	count := []string{
+		"operator.phase_counts.bie.solve.count",
+		"cases.1.iters",
+		"operator.gomaxprocs",
+		"operator.residual_history_bit_identical",
+	}
+	for _, p := range count {
+		if isCount(p) {
+			continue
+		}
+		t.Errorf("isCount(%s) = false", p)
+	}
+	if isTiming("cases.0.iters") || isCount("cases.0.solve_s") {
+		t.Error("classifier overlap")
+	}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	oldL := map[string]float64{"gomaxprocs": 8, "a.solve_s": 1.0, "a.iters": 40}
+	newL := map[string]float64{"gomaxprocs": 8, "a.solve_s": 1.4, "a.iters": 40}
+	d := diff(oldL, newL, 0.25)
+	if !d.Comparable {
+		t.Fatal("same gomaxprocs must be comparable")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0] != "a.solve_s" {
+		t.Fatalf("regressions = %v, want [a.solve_s]", d.Regressions)
+	}
+	// Under threshold: no regression.
+	newL["a.solve_s"] = 1.2
+	if d := diff(oldL, newL, 0.25); len(d.Regressions) != 0 {
+		t.Fatalf("+20%% under a 25%% threshold must pass, got %v", d.Regressions)
+	}
+	// Getting faster is never a regression.
+	newL["a.solve_s"] = 0.2
+	if d := diff(oldL, newL, 0.25); len(d.Regressions) != 0 {
+		t.Fatalf("speedup flagged as regression: %v", d.Regressions)
+	}
+}
+
+func TestDiffGomaxprocsMismatchDisarmsGate(t *testing.T) {
+	oldL := map[string]float64{"gomaxprocs": 8, "a.solve_s": 1.0}
+	newL := map[string]float64{"gomaxprocs": 1, "a.solve_s": 5.0}
+	d := diff(oldL, newL, 0.25)
+	if d.Comparable {
+		t.Fatal("different gomaxprocs must not be comparable")
+	}
+	// The delta is still reported...
+	if len(d.Regressions) != 1 {
+		t.Fatalf("regression row should still be listed, got %v", d.Regressions)
+	}
+	// ...but main() only exits nonzero when Comparable — mirrored here.
+	if len(d.Regressions) > 0 && d.Comparable {
+		t.Fatal("gate must be disarmed on gomaxprocs mismatch")
+	}
+}
+
+func TestDiffCountChangesAndMissingLeaves(t *testing.T) {
+	oldL := map[string]float64{"gomaxprocs": 8, "a.iters": 40, "gone_s": 1}
+	newL := map[string]float64{"gomaxprocs": 8, "a.iters": 43, "added_s": 2}
+	d := diff(oldL, newL, 0.25)
+	if len(d.CountChanges) != 1 || d.CountChanges[0].Path != "a.iters" {
+		t.Fatalf("count changes = %+v", d.CountChanges)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "gone_s" {
+		t.Fatalf("only-old = %v", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "added_s" {
+		t.Fatalf("only-new = %v", d.OnlyNew)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"rbcflow/internal/scenario"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 func main() {
@@ -42,7 +43,10 @@ func main() {
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (content-addressed; shared across campaigns)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	telemetryOut := flag.String("telemetry-out", "", "write the campaign's telemetry aggregates (per-run + totals) as JSON to this path")
-	debugAddr := flag.String("debug-addr", "", `serve /debug/pprof profiling endpoints on this address (per-run metrics land in the manifest)`)
+	debugAddr := flag.String("debug-addr", "", `serve /trace and /debug/pprof on this address (per-run metrics land in the manifest)`)
+	traceOut := flag.String("trace-out", "", "write the campaign-wide execution timeline as Chrome trace-event JSON to this path")
+	noHealth := flag.Bool("no-health", false, "disable the per-run numerical-health monitors")
+	injectNaN := flag.Int("inject-nan-step", 0, "TESTING: poison one cell coordinate with NaN at this step in every run")
 	flag.Parse()
 
 	cfg := &scenario.CampaignConfig{}
@@ -109,6 +113,17 @@ func main() {
 	if *precomputeWorkers > 0 {
 		cfg.PrecomputeWorkers = *precomputeWorkers
 	}
+	if *noHealth {
+		cfg.DisableHealth = true
+	}
+	if *injectNaN > 0 {
+		cfg.InjectNaNStep = *injectNaN
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *debugAddr != "" {
+		rec = trace.New(0)
+		cfg.Trace = rec
+	}
 	cfg.Defaults()
 
 	specs, err := scenario.ExpandSweep(cfg)
@@ -128,20 +143,40 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, telemetry.NewRegistry())
+		// The served registry carries the shared recorder so /trace exports
+		// the live campaign-wide timeline.
+		dreg := telemetry.NewRegistry()
+		dreg.SetTracer(rec)
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, dreg)
 		if err != nil {
 			fatal(err)
 		}
 		defer shutdown()
-		fmt.Printf("debug listener on http://%s (/debug/pprof)\n", addr)
+		fmt.Printf("debug listener on http://%s (/trace, /debug/pprof)\n", addr)
 	}
 
 	m, err := scenario.RunCampaign(cfg, *out, os.Stdout)
+	if *traceOut != "" {
+		if terr := rec.WriteChromeFile(*traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, terr)
+		} else {
+			fmt.Printf("execution timeline written to %s\n", *traceOut)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("campaign complete: %d/%d runs ok; manifest at %s/manifest.json\n",
 		m.OKCount(), len(m.Runs), *out)
+	tripped := 0
+	for _, r := range m.Runs {
+		if r.Status == "health-tripped" {
+			tripped++
+		}
+	}
+	if tripped > 0 {
+		fmt.Printf("  %d run(s) health-tripped; verdicts and postmortem bundles are in the manifest\n", tripped)
+	}
 	for _, ps := range m.PlanStats {
 		fmt.Printf("  wall plan %.12s: %d run(s), %s\n", ps.Fingerprint, ps.Runs, ps.Source)
 	}

@@ -41,7 +41,9 @@ func main() {
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	telemetryOut := flag.String("telemetry-out", "", "write the run's metrics snapshot as JSON to this path")
-	debugAddr := flag.String("debug-addr", "", `serve /metrics and /debug/pprof on this address (e.g. "localhost:6060")`)
+	debugAddr := flag.String("debug-addr", "", `serve /metrics, /trace and /debug/pprof on this address (e.g. "localhost:6060")`)
+	traceOut := flag.String("trace-out", "", "write the execution timeline as Chrome trace-event JSON to this path (Perfetto-viewable)")
+	noHealth := flag.Bool("no-health", false, "disable the numerical-health monitor (NaN/Inf guards, GMRES stall detection, flight recorder)")
 	flag.Parse()
 
 	name := *scn
@@ -128,8 +130,17 @@ func main() {
 	}
 
 	var reg *rbcflow.TelemetryRegistry
-	if *telemetryOut != "" || *debugAddr != "" {
+	if *telemetryOut != "" || *debugAddr != "" || *traceOut != "" {
 		reg = rbcflow.NewTelemetryRegistry()
+	}
+	var rec *rbcflow.TraceRecorder
+	if *traceOut != "" || *debugAddr != "" {
+		rec = rbcflow.NewTraceRecorder(0)
+		rbcflow.AttachTrace(reg, rec)
+	}
+	var health *rbcflow.HealthMonitor
+	if !*noHealth {
+		health = rbcflow.NewHealthMonitor(rbcflow.HealthMonitorConfig{}, rec, reg)
 	}
 	if *debugAddr != "" {
 		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
@@ -138,15 +149,20 @@ func main() {
 			os.Exit(1)
 		}
 		defer shutdown()
-		fmt.Printf("debug listener on http://%s (/metrics, /debug/pprof)\n", addr)
+		fmt.Printf("debug listener on http://%s (/metrics, /trace, /debug/pprof)\n", addr)
 	}
 
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps, OutDir: *out,
 		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
-		Telemetry: reg,
+		Telemetry: reg, Health: health,
 	})
 	if err != nil {
+		if *traceOut != "" {
+			if terr := rbcflow.WriteTraceJSON(*traceOut, rec); terr == nil {
+				fmt.Printf("execution timeline written to %s\n", *traceOut)
+			}
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -166,5 +182,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+	}
+	if *traceOut != "" {
+		if err := rbcflow.WriteTraceJSON(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("execution timeline written to %s\n", *traceOut)
 	}
 }

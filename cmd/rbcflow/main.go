@@ -31,7 +31,10 @@ func main() {
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (reuses solver precompute across runs)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	telemetryOut := flag.String("telemetry-out", "", "write the run's metrics snapshot as JSON to this path")
-	debugAddr := flag.String("debug-addr", "", `serve /metrics and /debug/pprof on this address (e.g. "localhost:6060")`)
+	debugAddr := flag.String("debug-addr", "", `serve /metrics, /trace and /debug/pprof on this address (e.g. "localhost:6060")`)
+	traceOut := flag.String("trace-out", "", "write the execution timeline as Chrome trace-event JSON to this path (Perfetto-viewable)")
+	noHealth := flag.Bool("no-health", false, "disable the numerical-health monitor (NaN/Inf guards, GMRES stall detection, flight recorder)")
+	injectNaN := flag.Int("inject-nan-step", 0, "TESTING: poison one cell coordinate with NaN at this step to exercise the flight recorder")
 	flag.Parse()
 
 	if *list {
@@ -57,8 +60,17 @@ func main() {
 	}
 
 	var reg *rbcflow.TelemetryRegistry
-	if *telemetryOut != "" || *debugAddr != "" {
+	if *telemetryOut != "" || *debugAddr != "" || *traceOut != "" {
 		reg = rbcflow.NewTelemetryRegistry()
+	}
+	var rec *rbcflow.TraceRecorder
+	if *traceOut != "" || *debugAddr != "" {
+		rec = rbcflow.NewTraceRecorder(0)
+		rbcflow.AttachTrace(reg, rec)
+	}
+	var health *rbcflow.HealthMonitor
+	if !*noHealth {
+		health = rbcflow.NewHealthMonitor(rbcflow.HealthMonitorConfig{}, rec, reg)
 	}
 	if *debugAddr != "" {
 		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
@@ -67,16 +79,22 @@ func main() {
 			os.Exit(1)
 		}
 		defer shutdown()
-		fmt.Printf("debug listener on http://%s (/metrics, /debug/pprof)\n", addr)
+		fmt.Printf("debug listener on http://%s (/metrics, /trace, /debug/pprof)\n", addr)
 	}
 
 	outcome, err := rbcflow.ExecuteScenario(b, rbcflow.RunOptions{
 		Ranks: *ranks, Steps: *steps,
 		CheckpointEvery: *ckptEvery, OutDir: *out, NoResume: *noResume,
 		PrecomputeWorkers: *precomputeWorkers, PlanCache: *planCache,
-		Telemetry: reg,
+		Telemetry: reg, Health: health, InjectNaNStep: *injectNaN,
 	})
 	if err != nil {
+		// A health trip still leaves a full timeline worth exporting.
+		if *traceOut != "" {
+			if terr := rbcflow.WriteTraceJSON(*traceOut, rec); terr == nil {
+				fmt.Printf("execution timeline written to %s\n", *traceOut)
+			}
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -103,6 +121,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+	}
+	if *traceOut != "" {
+		if err := rbcflow.WriteTraceJSON(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("execution timeline written to %s\n", *traceOut)
 	}
 	if len(outcome.Outputs) > 0 {
 		fmt.Printf("wrote %d files under %s\n", len(outcome.Outputs), *out)

@@ -1,12 +1,15 @@
 package bie
 
 import (
+	"math"
+
 	"rbcflow/internal/fmm"
 	"rbcflow/internal/forest"
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/la"
 	"rbcflow/internal/par"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // WallOperator is the composable wall-operator contract consumed by the
@@ -60,17 +63,20 @@ func (f *fmmFarField) Evaluate(c *par.Comm, srcPos [][3]float64, srcQ []float64,
 
 // FMMFarField is the default far-field backend: the kernel-independent FMM
 // at the given accuracy configuration.
-func FMMFarField(fc FMMConfig) FarField { return fmmFarFieldWith(fc, nil) }
+func FMMFarField(fc FMMConfig) FarField { return fmmFarFieldWith(fc, nil, nil) }
 
-// fmmFarFieldWith builds the FMM backend with a telemetry registry attached
-// so the per-pass FMM spans land next to the operator's own.
-func fmmFarFieldWith(fc FMMConfig, tel *telemetry.Registry) FarField {
+// fmmFarFieldWith builds the FMM backend with a telemetry registry and
+// health monitor attached, so the per-pass FMM spans land next to the
+// operator's own and the fmm.out guard catches a blow-up before it reaches
+// the solve.
+func fmmFarFieldWith(fc FMMConfig, tel *telemetry.Registry, health *trace.Health) FarField {
 	return &fmmFarField{name: "fmm", eval: fmm.NewEvaluator(fmm.Config{
 		Kernel:      kernels.StokesDoubleTensor{},
 		Order:       fc.Order,
 		LeafSize:    fc.LeafSize,
 		DirectBelow: fc.DirectBelow,
 		Tel:         tel,
+		Health:      health,
 	})}
 }
 
@@ -113,6 +119,12 @@ type Options struct {
 	// FMM per-pass spans of the default far-field backend. Nil costs nothing
 	// on the hot path.
 	Tel *telemetry.Registry
+	// Health, when non-nil, attaches the numerical-health monitor: the
+	// operator guards its matvec output and the package-level Solve guards
+	// rhs/solution and feeds the GMRES stall/divergence detectors. Must be
+	// the SAME monitor on every rank of the world (trips are agreed
+	// collectively at the step boundary).
+	Health *trace.Health
 }
 
 // Option mutates Options (the functional-option constructor style).
@@ -139,6 +151,9 @@ func WithNearField(n NearField) Option { return func(o *Options) { o.Near = n } 
 // WithTelemetry attaches a metrics registry to the operator (see Options.Tel).
 func WithTelemetry(r *telemetry.Registry) Option { return func(o *Options) { o.Tel = r } }
 
+// WithHealth attaches the numerical-health monitor (see Options.Health).
+func WithHealth(h *trace.Health) Option { return func(o *Options) { o.Health = h } }
+
 // NewWallOperator builds the wall operator for this rank's patch range.
 // In the local mode the near-field corrections come, in order of
 // preference, from an explicit NearField backend, a shared prebuilt plan,
@@ -151,12 +166,12 @@ func NewWallOperator(c *par.Comm, s *Surface, opts ...Option) *Solver {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	sv := &Solver{S: s, Mode: o.Mode, rank: c.Rank(), size: c.Size(), tel: o.Tel}
+	sv := &Solver{S: s, Mode: o.Mode, rank: c.Rank(), size: c.Size(), tel: o.Tel, health: o.Health}
 	sv.patchLo, sv.patchHi = s.F.OwnerRange(sv.size, sv.rank)
 	sv.nodeLo, sv.nodeHi = sv.patchLo*s.NQ, sv.patchHi*s.NQ
 	sv.far = o.Far
 	if sv.far == nil {
-		sv.far = fmmFarFieldWith(o.FMM, o.Tel)
+		sv.far = fmmFarFieldWith(o.FMM, o.Tel, o.Health)
 	}
 	sv.acPool.New = func() any { return newAdaptiveCtx(s.P.QuadNodes) }
 
@@ -197,13 +212,21 @@ func NewWallOperator(c *par.Comm, s *Surface, opts ...Option) *Solver {
 func Solve(c *par.Comm, op WallOperator, rhs, phi0 []float64, tol float64, maxIter int) ([]float64, la.GMRESResult) {
 	// Operators that carry a registry (notably *Solver) get the solve span
 	// and GMRES statistics recorded no matter which entry point ran the
-	// solve — the stepper calls this function directly.
+	// solve — the stepper calls this function directly. The same probe
+	// pattern picks up the health monitor: rhs is guarded before the solve,
+	// the solution after, and the residual history feeds the
+	// stall/divergence detectors.
 	var tel *telemetry.Registry
 	if t, ok := op.(interface{ TelemetryRegistry() *telemetry.Registry }); ok {
 		tel = t.TelemetryRegistry()
 	}
+	var hm *trace.Health
+	if t, ok := op.(interface{ Health() *trace.Health }); ok {
+		hm = t.Health()
+	}
 	stop := telemetry.Start(tel, "bie.solve")
 	defer stop()
+	hm.CheckFinite("bie.solve.rhs", rhs)
 	n := len(rhs)
 	x := make([]float64, n)
 	if phi0 != nil {
@@ -226,11 +249,19 @@ func Solve(c *par.Comm, op WallOperator, rhs, phi0 []float64, tol float64, maxIt
 	if tel != nil {
 		tel.Counter("bie.gmres.solves").Add(1)
 		tel.Counter("bie.gmres.iterations").Add(int64(res.Iterations))
-		tel.Gauge("bie.gmres.residual").Set(res.Residual)
+		if !math.IsNaN(res.Residual) && !math.IsInf(res.Residual, 0) {
+			// Gauges flow into JSON artifacts (manifest, -telemetry-out,
+			// flight bundles) and encoding/json rejects non-finite numbers;
+			// the health monitor records the broken residual with full
+			// fidelity in its own report instead.
+			tel.Gauge("bie.gmres.residual").Set(res.Residual)
+		}
 		iter := tel.Histogram("bie.gmres.iteration")
 		for _, s := range res.IterSec {
 			iter.Observe(s)
 		}
 	}
+	hm.ObserveSolve(res.Iterations, res.Residual, res.Converged, res.Breakdown, res.History)
+	hm.CheckFinite("bie.solve.phi", x)
 	return x, res
 }

@@ -6,7 +6,7 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -318,6 +318,24 @@ var planWarn struct {
 	corrupt, incompatible, store sync.Once
 }
 
+// planLog is the structured logger of the plan-cache layer. Warnings carry
+// the cache path, plan fingerprint, and cause as fields (log/slog), matching
+// the health monitor's record shape so a run's structured log stream is
+// greppable by one schema. Overridable for tests via SetPlanLogger.
+var planLog atomic.Pointer[slog.Logger]
+
+// SetPlanLogger overrides the plan-cache structured logger (nil restores
+// slog.Default()). Runner layers use it to scope cache warnings with
+// scenario/run fields.
+func SetPlanLogger(l *slog.Logger) { planLog.Store(l) }
+
+func planLogger() *slog.Logger {
+	if l := planLog.Load(); l != nil {
+		return l
+	}
+	return slog.Default()
+}
+
 // PlanFor returns the correction plan of s, consulting the content-addressed
 // disk cache under cacheDir first (empty = no cache). A cache miss builds
 // the plan with the given worker count and stores it for the next process;
@@ -346,7 +364,8 @@ func PlanFor(s *Surface, workers int, cacheDir string, reg *telemetry.Registry) 
 			} else {
 				reg.Counter("bie.plan.cache.incompatible").Inc()
 				planWarn.incompatible.Do(func() {
-					log.Printf("bie: plan cache entry %s is incompatible, rebuilding: %v", path, cerr)
+					planLogger().Warn("plan cache entry incompatible, rebuilding",
+						"layer", "bie.plan", "path", path, "fingerprint", fp, "err", cerr.Error())
 				})
 			}
 		case os.IsNotExist(err):
@@ -357,7 +376,8 @@ func PlanFor(s *Surface, workers int, cacheDir string, reg *telemetry.Registry) 
 			// foreign file under the cache key). Rebuild and overwrite.
 			reg.Counter("bie.plan.cache.corrupt").Inc()
 			planWarn.corrupt.Do(func() {
-				log.Printf("bie: plan cache entry %s is unreadable, rebuilding: %v", path, err)
+				planLogger().Warn("plan cache entry unreadable, rebuilding",
+					"layer", "bie.plan", "path", path, "fingerprint", fp, "err", err.Error())
 			})
 		}
 	}
@@ -368,7 +388,8 @@ func PlanFor(s *Surface, workers int, cacheDir string, reg *telemetry.Registry) 
 		if err := SavePlan(PlanPath(cacheDir, fp), p); err != nil {
 			reg.Counter("bie.plan.cache.store_error").Inc()
 			planWarn.store.Do(func() {
-				log.Printf("bie: plan cache store failed (continuing uncached): %v", err)
+				planLogger().Warn("plan cache store failed, continuing uncached",
+					"layer", "bie.plan", "fingerprint", fp, "err", err.Error())
 			})
 		}
 	}

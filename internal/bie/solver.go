@@ -10,6 +10,7 @@ import (
 	"rbcflow/internal/par"
 	"rbcflow/internal/quadrature"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // Mode selects how the double-layer operator is applied.
@@ -54,6 +55,9 @@ type Solver struct {
 	// tel receives the operator's spans and solve statistics; nil disables
 	// all recording at no hot-path cost.
 	tel *telemetry.Registry
+	// health guards the matvec output and feeds the GMRES detectors via the
+	// package-level Solve; nil disables all checks at no hot-path cost.
+	health *trace.Health
 
 	histMu       sync.Mutex
 	gmresHistory []la.GMRESResult
@@ -286,6 +290,7 @@ func (sv *Solver) Apply(c *par.Comm, phiLocal []float64) []float64 {
 			u[3*k+a] += n[a] * fluxArr[0]
 		}
 	}
+	sv.health.CheckFinite("bie.matvec.out", u)
 	return u
 }
 
@@ -308,6 +313,11 @@ func (sv *Solver) Solve(c *par.Comm, rhs, phi0 []float64, tol float64, maxIter i
 // attached); the package-level Solve probes it so solves record their span
 // and GMRES statistics from either entry point.
 func (sv *Solver) TelemetryRegistry() *telemetry.Registry { return sv.tel }
+
+// Health exposes the operator's numerical-health monitor (nil when none was
+// attached); the package-level Solve probes it the same way it probes
+// TelemetryRegistry.
+func (sv *Solver) Health() *trace.Health { return sv.health }
 
 // LastGMRES returns the diagnostics of the most recent solve (zero value if
 // none).

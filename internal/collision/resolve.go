@@ -3,6 +3,7 @@ package collision
 import (
 	"rbcflow/internal/par"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // ResolveParams configures the NCP loop.
@@ -14,6 +15,11 @@ type ResolveParams struct {
 	// collision.ncp.iterations and times each call under the
 	// collision.resolve span. Nil costs nothing.
 	Tel *telemetry.Registry
+	// Health, when non-nil, receives the resolve outcome (pair count, NCP
+	// iterations, contacts still violating at the cap). Must be the SAME
+	// monitor on every rank: when set, resolves that hit the iteration cap
+	// run one extra collective contact count.
+	Health *trace.Health
 }
 
 // Resolve runs the NCP loop of paper §4 on the rank-local deformable meshes:
@@ -96,6 +102,27 @@ func Resolve(c *par.Comm, pairs [][2]int, byID map[int]*Mesh, localIDs map[int]b
 		}
 		// Ranks without local contacts still iterate to keep collectives
 		// aligned.
+	}
+	if prm.Health != nil {
+		// Count the contacts still violating after the loop. The recount is
+		// collective (every rank reaches here with the same Health config),
+		// and only runs when the loop consumed every iteration with
+		// contacts still flowing — the converged path exits via the
+		// zero-count break above.
+		unresolved := 0
+		if iters == prm.MaxNCP && total > 0 {
+			cons := FindContacts(pairs, byID, DetectParams{MinSep: prm.MinSep})
+			n := 0
+			for _, con := range cons {
+				if localIDs[con.MeshA] {
+					n++
+				}
+			}
+			counts := []int{n}
+			c.AllreduceSumInt(counts)
+			unresolved = counts[0]
+		}
+		prm.Health.ObserveContacts(total, iters, unresolved)
 	}
 	return total, iters
 }

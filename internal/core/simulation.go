@@ -18,6 +18,7 @@ import (
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // Config configures a simulation.
@@ -63,6 +64,19 @@ type Config struct {
 	// but stay deterministic for a fixed one. Nil disables all recording at
 	// no hot-path cost.
 	Telemetry *telemetry.Registry
+	// Health, when non-nil, attaches the numerical-health monitor: NaN/Inf
+	// guards at phase boundaries (cell state after commit, matvec output,
+	// GMRES vectors), the GMRES stall/divergence detectors, and the
+	// collision contact checks. MUST be the same monitor on every rank of
+	// the world: Step agrees on the tripped flag collectively (see
+	// StepStats.HealthTripped), so ranks leave the step loop together and
+	// no collective deadlocks on an asymmetric abort.
+	Health *trace.Health
+	// FaultInject, when non-nil, runs at the top of every Step on the
+	// rank-local cells before any physics — the fault-injection seam used by
+	// the flight-recorder smoke tests (e.g. poisoning one coordinate with
+	// NaN at a chosen step). Never set in production runs.
+	FaultInject func(step int, cells []*rbc.Cell)
 }
 
 // Defaults fills zero fields with sensible values.
@@ -128,6 +142,11 @@ type StepStats struct {
 	// per-step complement of the registry's cumulative core.step.* spans.
 	// Wall-clock measurements: report them, never compare them.
 	PhaseSec map[string]float64
+	// HealthTripped reports the COLLECTIVE health verdict of this step: true
+	// on every rank when any rank's monitor tripped fatally (agreed by
+	// allreduce at the end of Step). Executors halt the run — and write the
+	// flight-recorder bundle — when it is set.
+	HealthTripped bool
 }
 
 // New builds a simulation. cells are the global cell list; each rank keeps
@@ -147,6 +166,7 @@ func New(c *par.Comm, cfg Config, cells []*rbc.Cell, surf *bie.Surface, g []floa
 		LeafSize:    cfg.FMM.LeafSize,
 		DirectBelow: cfg.FMM.DirectBelow,
 		Tel:         cfg.Telemetry,
+		Health:      cfg.Health,
 	})
 	if surf != nil {
 		s.Solver = bie.NewWallOperator(c, surf,
@@ -154,7 +174,8 @@ func New(c *par.Comm, cfg Config, cells []*rbc.Cell, surf *bie.Surface, g []floa
 			bie.WithFMM(cfg.FMM),
 			bie.WithWorkers(cfg.PrecomputeWorkers),
 			bie.WithPlan(cfg.WallPlan),
-			bie.WithTelemetry(cfg.Telemetry))
+			bie.WithTelemetry(cfg.Telemetry),
+			bie.WithHealth(cfg.Health))
 		plo, phi := surf.F.OwnerRange(c.Size(), c.Rank())
 		nOwn := (phi - plo) * surf.NQ
 		s.G = make([]float64, 3*nOwn)
@@ -190,6 +211,15 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 	cfg := s.Cfg
 	stats := StepStats{PhaseSec: map[string]float64{}}
 	c.SetLabel("Other")
+	// Timeline attribution: stamp this goroutine's events with the
+	// in-progress 1-based step, so every span of the solve/FMM/collision
+	// cascade below carries it in the exported trace.
+	rec := trace.FromRegistry(cfg.Telemetry)
+	rec.SetStep(s.StepCount + 1)
+	cfg.Health.BeginStep(s.StepCount + 1)
+	if cfg.FaultInject != nil {
+		cfg.FaultInject(s.StepCount+1, s.Cells)
+	}
 	defer telemetry.Start(cfg.Telemetry, "core.step")()
 	mark := time.Now()
 	endPhase := func(name string) {
@@ -199,6 +229,9 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		if cfg.Telemetry != nil {
 			cfg.Telemetry.Histogram("core.step." + name).Observe(d)
 		}
+		// The phase was measured with explicit marks, so it lands on the
+		// timeline as one backdated complete event nested inside core.step.
+		rec.Complete("core.step."+name, now.Sub(mark))
 		mark = now
 	}
 
@@ -328,6 +361,31 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 		}
 	}
 	endPhase("commit")
+
+	if cfg.Health != nil {
+		// Phase-boundary guard on the committed cell state: a NaN/Inf that
+		// slipped through the solve guards (or was injected) is caught here
+		// before it propagates into the next step's sources.
+	scan:
+		for _, cell := range s.Cells {
+			for d := 0; d < 3; d++ {
+				if !cfg.Health.CheckFinite("core.cellstate", cell.X[d]) {
+					break scan // first bad cell is enough
+				}
+			}
+		}
+		// Collective trip agreement: every rank learns whether ANY rank
+		// tripped, so all ranks leave the step loop together and no rank
+		// strands the others in a collective. This allreduce is the only
+		// health overhead on the healthy path (one float per step).
+		flag := []float64{0}
+		if cfg.Health.Tripped() {
+			flag[0] = 1
+		}
+		c.AllreduceMax(flag)
+		stats.HealthTripped = flag[0] > 0
+	}
+
 	s.LastStats = stats
 	s.StepCount++
 	if cfg.OnStep != nil {
@@ -419,6 +477,7 @@ func (s *Simulation) resolveCollisions(c *par.Comm, candidates []*rbc.Cell) (con
 		Mobility: s.Cfg.Dt / s.Cfg.Mu,
 		MaxNCP:   7,
 		Tel:      s.Cfg.Telemetry,
+		Health:   s.Cfg.Health,
 	})
 	// Apply displacements back to the candidate grids.
 	for i, m := range localMeshes {

@@ -66,7 +66,7 @@ func EvaluateDist(c *par.Comm, e *Evaluator, srcPos [][3]float64, srcQ []float64
 	unflattenMultipoles(t, ds, e.ci.nn, flat, index)
 
 	// Downward pass restricted to ancestors of local target leaves.
-	defer telemetry.Start(e.cfg.Tel, "fmm.downward")()
+	stopDown := telemetry.Start(e.cfg.Tel, "fmm.downward")
 	needed := make([]map[uint64]bool, t.depth+1)
 	for l := range needed {
 		needed[l] = map[uint64]bool{}
@@ -82,7 +82,10 @@ func EvaluateDist(c *par.Comm, e *Evaluator, srcPos [][3]float64, srcQ []float64
 			needed[l][key] = true
 		}
 	}
-	return e.downward(t, trgPos, needed)
+	out := e.downward(t, trgPos, needed)
+	stopDown()
+	e.cfg.Health.CheckFinite("fmm.out", out)
+	return out
 }
 
 // flattenMultipoles packs every box's multipole into one vector in a

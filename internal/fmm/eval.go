@@ -33,6 +33,7 @@ func (e *Evaluator) Direct(srcPos [][3]float64, srcQ []float64, trgPos [][3]floa
 			k.Eval(dst, x[0]-y[0], x[1]-y[1], x[2]-y[2], srcQ[s*ds:(s+1)*ds])
 		}
 	}
+	e.cfg.Health.CheckFinite("fmm.out", out)
 	return out
 }
 
@@ -50,8 +51,11 @@ func (e *Evaluator) Evaluate(srcPos [][3]float64, srcQ []float64, trgPos [][3]fl
 	stopUp := telemetry.Start(e.cfg.Tel, "fmm.upward")
 	e.upward(t, 0, len(t.leafOrder))
 	stopUp()
-	defer telemetry.Start(e.cfg.Tel, "fmm.downward")()
-	return e.downward(t, trgPos, nil)
+	stopDown := telemetry.Start(e.cfg.Tel, "fmm.downward")
+	out := e.downward(t, trgPos, nil)
+	stopDown()
+	e.cfg.Health.CheckFinite("fmm.out", out)
+	return out
 }
 
 func bbox(a, b [][3]float64) (lo, hi [3]float64) {

@@ -6,6 +6,7 @@ import (
 
 	"rbcflow/internal/kernels"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // boxKey packs integer box coordinates at a level into a single key.
@@ -53,6 +54,10 @@ type Config struct {
 	// fmm.upward, fmm.downward, fmm.direct) from every evaluation. Nil
 	// costs nothing on the hot path.
 	Tel *telemetry.Registry
+	// Health, when non-nil, guards every evaluation's output for NaN/Inf at
+	// the fmm boundary (check "fmm.out") — a non-finite source strength or a
+	// degenerate tree geometry surfaces here before it poisons the solve.
+	Health *trace.Health
 }
 
 func (c *Config) defaults() {

@@ -43,6 +43,12 @@ type GMRESResult struct {
 	// application plus orthogonalization); len(IterSec) == len(History).
 	// Wall-clock measurements — never part of a deterministic comparison.
 	IterSec []float64
+	// Breakdown is non-empty when the recurrence produced a non-finite
+	// quantity (NaN/Inf in the rhs norm or a residual estimate) and the
+	// solve was abandoned early. The solution vector is left at the last
+	// finite restart point; callers treating this as fatal (the health
+	// monitor does) get the exact iteration the numbers went bad.
+	Breakdown string
 }
 
 func (o *GMRESOptions) defaults() {
@@ -82,6 +88,9 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 		Zero(x)
 		return finish(GMRESResult{Converged: true, Residual: 0}), nil
 	}
+	if math.IsNaN(bnorm) || math.IsInf(bnorm, 0) {
+		return finish(GMRESResult{Residual: bnorm, Breakdown: "non-finite rhs norm"}), nil
+	}
 
 	m := opt.Restart
 	// Krylov basis and Hessenberg storage.
@@ -104,6 +113,11 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 		Sub(r, b, w)
 		beta := norm(r)
 		rel := beta / bnorm
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			res.Residual = rel
+			res.Breakdown = fmt.Sprintf("non-finite residual at iteration %d", total)
+			return finish(res), nil
+		}
 		if rel <= opt.Tol {
 			res.Converged = true
 			res.Residual = rel
@@ -155,6 +169,14 @@ func GMRES(apply Operator, b, x []float64, opt GMRESOptions) (GMRESResult, error
 			rel = math.Abs(g[k+1]) / bnorm
 			res.History = append(res.History, rel)
 			res.IterSec = append(res.IterSec, time.Since(iterStart).Seconds())
+			if math.IsNaN(rel) || math.IsInf(rel, 0) {
+				// Abandon without the triangular solve: y would be
+				// poisoned, and x still holds the last finite restart.
+				res.Iterations = total
+				res.Residual = rel
+				res.Breakdown = fmt.Sprintf("non-finite residual at iteration %d", total)
+				return finish(res), nil
+			}
 			if rel <= opt.Tol {
 				k++
 				break

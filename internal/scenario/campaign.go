@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"rbcflow/internal/bie"
 	"rbcflow/internal/par"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // CampaignConfig describes a parameter-sweep campaign: a family of
@@ -46,6 +49,21 @@ type CampaignConfig struct {
 	// sweep points and repeated campaigns with equal geometry reuse plans
 	// instead of rebuilding them.
 	PlanCache string `json:"plan_cache,omitempty"`
+	// DisableHealth turns the numerical-health monitor off. It is ON by
+	// default: every run gets its own monitor, a fatal trip records status
+	// "health-tripped" with the verdicts and postmortem-bundle path in the
+	// manifest, and the campaign keeps draining the remaining runs.
+	DisableHealth bool `json:"disable_health,omitempty"`
+	// InjectNaNStep, when > 0, poisons one cell coordinate with NaN at that
+	// step in EVERY run — the campaign-level fault-injection smoke (see
+	// RunOptions.InjectNaNStep).
+	InjectNaNStep int `json:"inject_nan_step,omitempty"`
+
+	// Trace, when non-nil, is the shared execution-timeline recorder: it is
+	// attached to every run's registry, so the campaign's runs land on
+	// labelled "<runID>/rankN" timelines of ONE exportable trace. Not part
+	// of the JSON config (drivers wire it from -trace-out/-debug-addr).
+	Trace *trace.Recorder `json:"-"`
 }
 
 // Defaults fills zero fields.
@@ -163,15 +181,24 @@ type RunRecord struct {
 	Scenario    string `json:"scenario"`
 	Params      Params `json:"params"`
 	GeometryKey string `json:"geometry_key,omitempty"`
-	// Status: "ok", "failed", "timeout", or "geometry-only" (non-steppable
-	// scenarios).
-	Status      string   `json:"status"`
-	Error       string   `json:"error,omitempty"`
-	Steps       int      `json:"steps"`
-	ResumedFrom int      `json:"resumed_from"`
-	NumCells    int      `json:"num_cells"`
-	VirtualTime float64  `json:"virtual_time"`
-	Outputs     []string `json:"outputs,omitempty"`
+	// Status: "ok", "failed", "timeout", "health-tripped", or
+	// "geometry-only" (non-steppable scenarios).
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Health is the run's numerical-health verdict: "ok" when the monitor
+	// ran clean, "tripped" when it halted the run (empty when the monitor
+	// was disabled). HealthVerdicts lists every verdict (warnings included,
+	// deduplicated per check and step — deterministic for a fixed rank
+	// count), and Bundle is the postmortem bundle directory of a tripped
+	// run, relative to the campaign output dir.
+	Health         string   `json:"health,omitempty"`
+	HealthVerdicts []string `json:"health_verdicts,omitempty"`
+	Bundle         string   `json:"bundle,omitempty"`
+	Steps          int      `json:"steps"`
+	ResumedFrom    int      `json:"resumed_from"`
+	NumCells       int      `json:"num_cells"`
+	VirtualTime    float64  `json:"virtual_time"`
+	Outputs        []string `json:"outputs,omitempty"`
 	// PlanFingerprint is the wall-operator plan this run consumed (empty
 	// when none was needed). The per-run source is aggregated into the
 	// manifest's PlanStats instead of recorded here: WHICH concurrent
@@ -445,7 +472,20 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 		}
 		// Every run records into its own registry, so per-run aggregates are
 		// independent of worker scheduling and rank interleaving across runs.
+		// The (optional) trace recorder IS shared: runs land on labelled
+		// per-rank timelines of one campaign-wide trace.
 		reg := telemetry.NewRegistry()
+		if cfg.Trace != nil {
+			// The nil check matters: a typed-nil *Recorder stored in the
+			// SpanTracer interface would re-enable the traced span path.
+			reg.SetTracer(cfg.Trace)
+		}
+		var health *trace.Health
+		if !cfg.DisableHealth {
+			health = trace.NewHealth(trace.HealthConfig{
+				Log: slog.Default().With("layer", "health", "scenario", spec.Scenario, "run", spec.ID),
+			}, cfg.Trace, reg)
+		}
 		outcome, err := Execute(b, RunOptions{
 			Ranks:             cfg.Ranks,
 			Machine:           machine,
@@ -458,27 +498,58 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 			PrecomputeWorkers: cfg.PrecomputeWorkers,
 			PlanCache:         cfg.PlanCache,
 			Telemetry:         reg,
+			Health:            health,
+			TraceLabel:        spec.ID,
+			InjectNaNStep:     cfg.InjectNaNStep,
 		})
+		recordTelemetry := func() {
+			telCore := outcome.Telemetry.Without("bie.plan.")
+			r.Telemetry = telCore.CounterMap()
+			r.TelemetryGauges = telCore.GaugeMap()
+			r.TelemetrySeconds = outcome.Telemetry.SecondsMap()
+			r.telemetryAll = outcome.Telemetry.CounterMap()
+			r.Steps = outcome.Steps
+			r.ResumedFrom = outcome.ResumedFrom
+			for _, f := range outcome.Outputs {
+				r.Outputs = append(r.Outputs, relPath(outDir, f))
+			}
+			sort.Strings(r.Outputs)
+		}
 		if err != nil {
+			var herr *HealthError
+			if errors.As(err, &herr) {
+				// The monitor halted the run at a step boundary: a structured
+				// failure with its own status, the verdicts, and the
+				// postmortem bundle — plus whatever partial telemetry the run
+				// accumulated before the trip.
+				r.Status, r.Error = "health-tripped", err.Error()
+				r.Health = "tripped"
+				for _, v := range herr.Verdicts {
+					r.HealthVerdicts = append(r.HealthVerdicts, v.String())
+				}
+				if herr.BundleDir != "" {
+					r.Bundle = relPath(outDir, herr.BundleDir)
+				}
+				if outcome != nil {
+					recordTelemetry()
+				}
+				return
+			}
 			r.Status, r.Error = "failed", err.Error()
 			return
 		}
 		r.Status = "ok"
+		if health != nil {
+			r.Health = "ok"
+			for _, v := range health.Verdicts() {
+				r.HealthVerdicts = append(r.HealthVerdicts, v.String())
+			}
+		}
 		r.PlanFingerprint = outcome.PlanFingerprint
 		r.planSource = outcome.PlanSource
-		telCore := outcome.Telemetry.Without("bie.plan.")
-		r.Telemetry = telCore.CounterMap()
-		r.TelemetryGauges = telCore.GaugeMap()
-		r.TelemetrySeconds = outcome.Telemetry.SecondsMap()
-		r.telemetryAll = outcome.Telemetry.CounterMap()
-		r.Steps = outcome.Steps
-		r.ResumedFrom = outcome.ResumedFrom
 		r.NumCells = len(outcome.Centroids)
 		r.VirtualTime = outcome.Ledger.VirtualTime
-		for _, f := range outcome.Outputs {
-			r.Outputs = append(r.Outputs, relPath(outDir, f))
-		}
-		sort.Strings(r.Outputs)
+		recordTelemetry()
 	}()
 
 	select {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -11,6 +12,7 @@ import (
 	"rbcflow/internal/par"
 	"rbcflow/internal/rbc"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 )
 
 // RunOptions configures one checkpointed execution of a scenario bundle.
@@ -57,6 +59,26 @@ type RunOptions struct {
 	// to telemetry.csv at every checkpoint boundary, and returned in
 	// RunOutcome.Telemetry. Nil runs with telemetry fully off.
 	Telemetry *telemetry.Registry
+
+	// Health, when non-nil, attaches the numerical-health monitor to every
+	// layer of the run. A fatal trip halts the run at the step boundary
+	// (collectively, across all ranks), writes a flight-recorder bundle
+	// under OutDir/postmortem, and Execute returns a *HealthError carrying
+	// the verdicts and bundle path. The partial segment is NOT checkpointed:
+	// the surviving checkpoint is the last healthy one.
+	Health *trace.Health
+
+	// TraceLabel names this run's timelines in the execution trace
+	// ("<label>/rankN"); empty defaults to the scenario name. Campaign
+	// workers set it to the run ID so sweep points separate in Perfetto.
+	TraceLabel string
+
+	// InjectNaNStep, when > 0, poisons one coordinate of the first
+	// rank-local cell with NaN at the top of that 1-based step — the
+	// fault-injection hook of the flight-recorder smoke tests. It is
+	// deliberately NOT a scenario Param: it must not perturb the params
+	// signature (or checkpoints/goldens keyed by it).
+	InjectNaNStep int
 }
 
 func (o *RunOptions) defaults() {
@@ -221,6 +243,15 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		cfg := b.Config
 		cfg.WallPlan = wallPlan
 		cfg.Telemetry = opt.Telemetry
+		cfg.Health = opt.Health
+		if opt.InjectNaNStep > 0 {
+			inject := opt.InjectNaNStep
+			cfg.FaultInject = func(step int, cs []*rbc.Cell) {
+				if step == inject && len(cs) > 0 {
+					cs[0].X[0][0] = math.NaN()
+				}
+			}
+		}
 		cfg.OnStep = func(c *par.Comm, sim *core.Simulation, step int, st core.StepStats) {
 			parts := par.Allgatherv(c, sim.Centroids())
 			vol := sim.TotalCellVolume(c)
@@ -253,24 +284,74 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			lastStats = st
 		}
 
+		traceLabel := opt.TraceLabel
+		if traceLabel == "" {
+			traceLabel = b.Scenario
+		}
 		var nextCells []*rbc.Cell
 		var nextPhi []float64
+		haltStep := start
 		world := par.Run(opt.Ranks, opt.Machine, func(c *par.Comm) {
+			// Pin this segment's rank goroutine to a stable named timeline:
+			// every checkpoint segment spawns fresh goroutines, but in the
+			// exported trace they all land on one "<label>/rankN" row.
+			trace.FromRegistry(opt.Telemetry).LabelCurrent(
+				fmt.Sprintf("%s/rank%d", traceLabel, c.Rank()))
 			sim := core.New(c, cfg, cells, b.Surf, b.G)
 			sim.StepCount = start
 			sim.RestorePhi(c, phi)
 			for s := 0; s < seg; s++ {
-				sim.Step(c)
+				st := sim.Step(c)
+				if st.HealthTripped {
+					// Collective verdict: every rank sees it, every rank
+					// breaks here — collectives stay aligned.
+					break
+				}
 			}
 			nc := sim.ExportCells(c)
 			np := sim.ExportPhi(c)
 			if c.Rank() == 0 {
 				nextCells, nextPhi = nc, np
+				haltStep = sim.StepCount
 			}
 		})
 		cells, phi = nextCells, nextPhi
 		segLedger := world.Ledger()
 		ledger.Add(segLedger)
+
+		if opt.Health.Tripped() {
+			// The run halted inside this segment. Keep the observable rows of
+			// the completed steps, write the postmortem bundle, and do NOT
+			// checkpoint (the tripped state must not become a resume point —
+			// the surviving checkpoint is the last healthy one; RNGState in
+			// the bundle's meta is that checkpoint's stream state).
+			out.Rows = append(out.Rows, rows...)
+			out.LastStats = lastStats
+			out.Steps = haltStep
+			herr := &HealthError{Scenario: b.Scenario, Step: haltStep, Verdicts: opt.Health.Verdicts()}
+			if opt.OutDir != "" {
+				for i, row := range rows {
+					obs.Record(row, cents[i])
+				}
+				dir, err := WriteFlightBundle(opt.OutDir, FlightMeta{
+					Scenario:    b.Scenario,
+					ParamsSig:   b.Params.Signature(),
+					Params:      b.Params,
+					Seed:        b.Params.Seed,
+					Step:        haltStep,
+					ResumedFrom: resumedFrom,
+					RNGState:    rng.State,
+					Ranks:       opt.Ranks,
+				}, opt.Health, trace.FromRegistry(opt.Telemetry), opt.Telemetry)
+				if err != nil {
+					return out, fmt.Errorf("%w (and flight bundle failed: %v)", herr, err)
+				}
+				herr.BundleDir = dir
+				out.Outputs = append(out.Outputs, dir)
+			}
+			out.Telemetry = opt.Telemetry.Snapshot()
+			return out, herr
+		}
 		for i := 0; i < seg; i++ {
 			rng.Uint64()
 		}

@@ -23,6 +23,8 @@ func WriteText(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "%s_total_seconds %.9g\n", sp.Name, sp.TotalS)
 		if sp.Count > 0 {
 			fmt.Fprintf(w, "%s_min_seconds %.9g\n", sp.Name, sp.MinS)
+			fmt.Fprintf(w, "%s_p50_seconds %.9g\n", sp.Name, sp.P50S)
+			fmt.Fprintf(w, "%s_p95_seconds %.9g\n", sp.Name, sp.P95S)
 			fmt.Fprintf(w, "%s_max_seconds %.9g\n", sp.Name, sp.MaxS)
 		}
 		for i, b := range sp.Buckets {
@@ -43,13 +45,32 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// ChromeWriter is the shape of a tracer that can export its timeline as
+// Chrome trace_event JSON (implemented by trace.Recorder; declared here as
+// an interface so telemetry does not import the trace layer above it).
+type ChromeWriter interface {
+	WriteChrome(w io.Writer) error
+}
+
 // NewDebugMux builds the debug endpoint set of a long-running driver (and
 // the seam a future serve daemon mounts wholesale): /metrics with the
-// registry text dump plus the standard net/http/pprof profiling handlers
-// under /debug/pprof/.
+// registry text dump, /trace with the live execution timeline as Chrome
+// trace_event JSON when the registry carries a ChromeWriter tracer, plus the
+// standard net/http/pprof profiling handlers under /debug/pprof/.
 func NewDebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		cw, ok := r.Tracer().(ChromeWriter)
+		if !ok {
+			http.Error(w, "no execution-timeline recorder attached (run with -trace-out or attach one via SetTracer)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := cw.WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populate fills a registry with one of everything WriteText renders.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("req.count").Add(7)
+	r.Gauge("solver.residual").Set(1.5e-9)
+	for i := 0; i < 20; i++ {
+		stop := Start(r, "phase.work")
+		time.Sleep(100 * time.Microsecond)
+		stop()
+	}
+	return r
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	mux := NewDebugMux(populate(t))
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rw.Body.String()
+	for _, want := range []string{
+		"req.count 7\n",
+		"solver.residual 1.5e-09\n",
+		"phase.work_count 20\n",
+		"phase.work_total_seconds ",
+		"phase.work_min_seconds ",
+		"phase.work_p50_seconds ",
+		"phase.work_p95_seconds ",
+		"phase.work_max_seconds ",
+		`phase.work_bucket{le="+Inf"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+	// The derived percentiles must be ordered min <= p50 <= p95 <= max.
+	val := func(key string) float64 {
+		for _, line := range strings.Split(body, "\n") {
+			if rest, ok := strings.CutPrefix(line, key+" "); ok {
+				var v float64
+				if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+					t.Fatalf("parse %s: %v", key, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no line %q", key)
+		return 0
+	}
+	mn, p50, p95, mx := val("phase.work_min_seconds"), val("phase.work_p50_seconds"),
+		val("phase.work_p95_seconds"), val("phase.work_max_seconds")
+	if !(mn <= p50 && p50 <= p95 && p95 <= mx) {
+		t.Fatalf("quantiles out of order: min %g p50 %g p95 %g max %g", mn, p50, p95, mx)
+	}
+}
+
+// fakeChromeWriter is a minimal SpanTracer that can also export; it stands in
+// for trace.Recorder so the telemetry package needn't import it.
+type fakeChromeWriter struct{ payload string }
+
+func (f *fakeChromeWriter) SpanBegin(string) {}
+func (f *fakeChromeWriter) SpanEnd(string)   {}
+func (f *fakeChromeWriter) WriteChrome(w io.Writer) error {
+	_, err := io.WriteString(w, f.payload)
+	return err
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	r := NewRegistry()
+	mux := NewDebugMux(r)
+
+	// Without a ChromeWriter tracer: 404 with a hint.
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/trace", nil))
+	if rw.Code != http.StatusNotFound {
+		t.Fatalf("/trace without recorder: status %d, want 404", rw.Code)
+	}
+	if !strings.Contains(rw.Body.String(), "-trace-out") {
+		t.Fatalf("404 body should point at -trace-out, got %q", rw.Body.String())
+	}
+
+	// With one: the exported JSON, as application/json.
+	r.SetTracer(&fakeChromeWriter{payload: `{"traceEvents":[]}`})
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/trace", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/trace with recorder: status %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if rw.Body.String() != `{"traceEvents":[]}` {
+		t.Fatalf("body %q", rw.Body.String())
+	}
+}
+
+func TestPprofMux(t *testing.T) {
+	mux := NewDebugMux(NewRegistry())
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", rw.Code)
+	}
+	if !strings.Contains(rw.Body.String(), "goroutine") {
+		t.Fatal("pprof index should list the goroutine profile")
+	}
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", rw.Code)
+	}
+}
+
+func TestServeDebugRoundTrip(t *testing.T) {
+	r := populate(t)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "req.count 7") {
+		t.Fatalf("live /metrics missing counter, got:\n%s", body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

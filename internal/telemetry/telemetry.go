@@ -184,6 +184,17 @@ func (h *Histogram) Sum() float64 {
 
 var nopStop = func() {}
 
+// SpanTracer receives begin/end notifications for every span started through
+// Start on a registry it is attached to (SetTracer). It is the seam the
+// execution-timeline recorder (internal/trace) plugs into: telemetry keeps
+// the aggregate histograms, the tracer keeps the event timeline. Both
+// callbacks run on the instrumented goroutine and must be cheap and
+// concurrency-safe.
+type SpanTracer interface {
+	SpanBegin(name string)
+	SpanEnd(name string)
+}
+
 // Registry holds named metrics. The zero value is not usable; construct with
 // NewRegistry. A nil *Registry is a valid "telemetry off" handle: every
 // lookup returns a nil metric and every record is a no-op.
@@ -192,6 +203,36 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// tracer is the attached span tracer (pointer-to-interface so the hot
+	// path pays one atomic load when none is attached).
+	tracer atomic.Pointer[SpanTracer]
+}
+
+// SetTracer attaches (or, with nil, detaches) a span tracer: every
+// subsequent Start on this registry reports its begin/end to t in addition
+// to the duration histogram. No-op on a nil registry.
+func (r *Registry) SetTracer(t SpanTracer) {
+	if r == nil {
+		return
+	}
+	if t == nil {
+		r.tracer.Store(nil)
+		return
+	}
+	r.tracer.Store(&t)
+}
+
+// Tracer returns the attached span tracer (nil when none, or on a nil
+// registry).
+func (r *Registry) Tracer() SpanTracer {
+	if r == nil {
+		return nil
+	}
+	p := r.tracer.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // NewRegistry creates an empty registry.
@@ -273,14 +314,27 @@ func (r *Registry) HistogramWith(name string, edges []float64) *Histogram {
 }
 
 // Start begins a span: the returned stop function observes the elapsed wall
-// time into the named duration histogram. Start(nil, ...) is a no-op that
-// performs no allocation — the hot-path contract that lets spans live
-// permanently inside Apply/Step/Resolve.
+// time into the named duration histogram and, when a SpanTracer is attached,
+// reports the begin/end pair to the execution timeline. Start(nil, ...) is a
+// no-op that performs no allocation — the hot-path contract that lets spans
+// live permanently inside Apply/Step/Resolve. With a registry but no tracer
+// the only cost over the histogram path is one atomic load.
 func Start(r *Registry, name string) func() {
 	if r == nil {
 		return nopStop
 	}
-	return r.Histogram(name).Time()
+	tp := r.tracer.Load()
+	if tp == nil {
+		return r.Histogram(name).Time()
+	}
+	tr := *tp
+	h := r.Histogram(name)
+	tr.SpanBegin(name)
+	t0 := time.Now()
+	return func() {
+		h.Observe(time.Since(t0).Seconds())
+		tr.SpanEnd(name)
+	}
 }
 
 // CounterValue is one counter in a snapshot.
@@ -299,13 +353,57 @@ type GaugeValue struct {
 // deterministic core; the seconds fields and bucket occupancy are wall-clock
 // measurements.
 type SpanValue struct {
-	Name    string    `json:"name"`
-	Count   int64     `json:"count"`
-	TotalS  float64   `json:"total_s"`
-	MinS    float64   `json:"min_s"`
-	MaxS    float64   `json:"max_s"`
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	TotalS float64 `json:"total_s"`
+	MinS   float64 `json:"min_s"`
+	MaxS   float64 `json:"max_s"`
+	// P50S/P95S are bucket-interpolated quantile estimates, derived from the
+	// bucket occupancy at snapshot time (they are not independent state and
+	// are ignored by Restore). Accuracy is bounded by the bucket width; the
+	// overflow bucket reports MaxS.
+	P50S    float64   `json:"p50_s,omitempty"`
+	P95S    float64   `json:"p95_s,omitempty"`
 	Edges   []float64 `json:"edges,omitempty"`
 	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// bucketQuantile estimates the q-quantile from fixed-bucket occupancy by
+// linear interpolation inside the bucket holding the target rank. Results
+// are clamped to the exact [minS, maxS] envelope; observations in the
+// overflow bucket (beyond the last edge) report maxS.
+func bucketQuantile(edges []float64, buckets []int64, q, minS, maxS float64) float64 {
+	var count int64
+	for _, b := range buckets {
+		count += b
+	}
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if rank <= next {
+			if i >= len(edges) {
+				return maxS
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = edges[i-1]
+			}
+			v := lo + (rank-cum)/float64(b)*(edges[i]-lo)
+			return math.Max(minS, math.Min(maxS, v))
+		}
+		cum = next
+	}
+	return maxS
 }
 
 // Snapshot is a point-in-time copy of a registry, deterministically ordered
@@ -350,6 +448,10 @@ func (r *Registry) Snapshot() Snapshot {
 		sv.Buckets = make([]int64, len(h.buckets))
 		for i := range h.buckets {
 			sv.Buckets[i] = h.buckets[i].Load()
+		}
+		if sv.Count > 0 {
+			sv.P50S = bucketQuantile(h.edges, sv.Buckets, 0.50, sv.MinS, sv.MaxS)
+			sv.P95S = bucketQuantile(h.edges, sv.Buckets, 0.95, sv.MinS, sv.MaxS)
 		}
 		s.Spans = append(s.Spans, sv)
 	}

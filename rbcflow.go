@@ -30,6 +30,7 @@ import (
 	"rbcflow/internal/rbc"
 	"rbcflow/internal/scenario"
 	"rbcflow/internal/telemetry"
+	"rbcflow/internal/trace"
 	"rbcflow/internal/vessel"
 )
 
@@ -110,6 +111,25 @@ type (
 	// TelemetrySnapshot is a point-in-time copy of a registry, serializable
 	// (gob/JSON) and restorable for checkpoint/resume continuity.
 	TelemetrySnapshot = telemetry.Snapshot
+
+	// TraceRecorder is the bounded execution-timeline recorder: attach it to
+	// a registry (AttachTrace) and every telemetry span, step phase, and
+	// health event lands on a per-goroutine timeline exportable as Chrome
+	// trace-event JSON (chrome://tracing, Perfetto).
+	TraceRecorder = trace.Recorder
+	// HealthMonitor is the numerical-health monitor: NaN/Inf guards at phase
+	// boundaries, GMRES stall/divergence detection, collision-overflow
+	// checks. Wire one through RunOptions.Health (or core.Config.Health).
+	HealthMonitor = trace.Health
+	// HealthMonitorConfig tunes the monitor's detector thresholds; the zero
+	// value selects calibrated defaults.
+	HealthMonitorConfig = trace.HealthConfig
+	// HealthVerdict is one finding (warning or fatal trip) of the monitor.
+	HealthVerdict = trace.Verdict
+	// HealthError is the structured error ExecuteScenario returns when the
+	// monitor halts a run; it carries the verdicts and the postmortem-bundle
+	// directory.
+	HealthError = scenario.HealthError
 )
 
 // BIE operator modes.
@@ -399,6 +419,42 @@ func ServeTelemetry(addr string, reg *TelemetryRegistry) (string, func() error, 
 // format of the cmd drivers).
 func WriteTelemetryJSON(path string, s TelemetrySnapshot) error {
 	return telemetry.WriteJSONFile(path, s)
+}
+
+// NewTraceRecorder creates an execution-timeline recorder holding the last
+// capEvents events (<= 0 selects the default, trace.DefaultCapEvents).
+// Recording is bounded and allocation-free after warm-up; with no recorder
+// attached, instrumented code pays nothing.
+func NewTraceRecorder(capEvents int) *TraceRecorder { return trace.New(capEvents) }
+
+// AttachTrace wires a recorder into a registry: from then on every
+// telemetry.Start span on that registry also emits timeline begin/end
+// events. Pass the same registry to RunOptions.Telemetry and the run's
+// phases appear on per-rank timelines. A nil recorder detaches.
+func AttachTrace(reg *TelemetryRegistry, rec *TraceRecorder) {
+	if rec == nil {
+		reg.SetTracer(nil) // avoid storing a typed-nil in the interface
+		return
+	}
+	reg.SetTracer(rec)
+}
+
+// WriteTraceJSON exports the recorder's retained events as Chrome
+// trace-event JSON — the -trace-out format of the cmd drivers, viewable in
+// Perfetto or chrome://tracing.
+func WriteTraceJSON(path string, rec *TraceRecorder) error { return rec.WriteChromeFile(path) }
+
+// ValidateTraceFile structurally validates a Chrome trace-event JSON file
+// (balanced, properly nested begin/end pairs per thread; monotone
+// timestamps) and returns summary statistics.
+func ValidateTraceFile(path string) (trace.ChromeStats, error) { return trace.ValidateChromeFile(path) }
+
+// NewHealthMonitor builds a numerical-health monitor. rec (nil ok) receives
+// timeline instants on each verdict; reg (nil ok) counts health.verdicts
+// and health.trips. The zero HealthMonitorConfig selects calibrated
+// defaults that never trip on healthy runs.
+func NewHealthMonitor(cfg HealthMonitorConfig, rec *TraceRecorder, reg *TelemetryRegistry) *HealthMonitor {
+	return trace.NewHealth(cfg, rec, reg)
 }
 
 // SaveCheckpoint / LoadCheckpoint expose the versioned gob snapshots.
