@@ -47,6 +47,12 @@ type TreeParams struct {
 // that bifurcates Depth times, with the opening angle halving each
 // generation to keep branches separated. Node 0 is the root terminal; the
 // 2^Depth leaf terminals carry no boundary conditions.
+//
+// The inner-generation junctions get progressively narrower (the depth-2
+// tree's bisector angle is ~15°); they blend through the anisotropic
+// collars and, when the full blend width does not fit, the blend-width
+// feasibility ladder of TubeParams.BlendShrink — the built Geometry records
+// the width that fit in EffectiveBlend.
 func BinaryTree(p TreeParams) *Network {
 	if p.RadiusRatio == 0 {
 		p.RadiusRatio = math.Pow(2, -1.0/3)

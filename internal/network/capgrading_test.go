@@ -1,14 +1,16 @@
 package network
 
 // Solver-convergence (CapGrading) suite, network half: the Y-bifurcation
-// acceptance geometry and the binary-tree fallback regression. Together
-// with internal/vessel's channel half this pins the edge-graded cap-rim
-// discretization: GMRES reaches ≤ 1e-6 relative residual ABSOLUTELY on the
-// blended Y-bifurcation at every grading level, the off-node
-// boundary-condition residual decreases monotonically with grading, the
-// solved flow matches the reduced-order Poiseuille profiles at mid-segment
-// probes, and grading keeps working on geometries with capsule-fallback
-// junctions (the ROADMAP narrow-bifurcation annoyance, pinned here).
+// acceptance geometry and the deep binary tree. Together with
+// internal/vessel's channel half this pins the edge-graded cap-rim
+// discretization: GMRES reaches ≤ 1e-6 residual ABSOLUTELY on the blended
+// Y-bifurcation at every grading level, the off-node boundary-condition
+// residual decreases monotonically with grading, the solved flow matches
+// the reduced-order Poiseuille profiles at mid-segment probes, and the
+// depth-2 binary tree — whose inner junctions used to demote to capsule
+// caps and stall GMRES at O(1e-1) — now blends every node through the
+// anisotropic collars and the blend-width ladder and converges absolutely
+// too (the ROADMAP narrow-bifurcation item, closed and pinned here).
 
 import (
 	"math"
@@ -186,14 +188,15 @@ func TestCapGradingYFlowProfile(t *testing.T) {
 	}
 }
 
-// TestCapGradingFallbackTree pins the ROADMAP narrow-bifurcation fallback:
-// the depth-2 binary tree demotes its inner-generation junctions to capsule
-// caps. Grading must keep working there — the build succeeds with graded
-// terminal caps, the fallback count is recorded, and the graded solve is
-// substantially better conditioned than the ungraded one (full 1e-6
-// convergence is still blocked by the self-intersecting capsule overlap,
-// which is the junction model's documented defect, not the rims').
-func TestCapGradingFallbackTree(t *testing.T) {
+// TestCapGradingDeepTreeBlended is the narrow-bifurcation acceptance test:
+// the depth-2 binary tree — whose inner generation-1 junctions used to be
+// infeasible for the isotropic collar and fell back to capsule caps,
+// stalling GMRES at O(1e-1) — now blends at EVERY node via the anisotropic
+// per-azimuth collars and the blend-width ladder, and the solve converges
+// absolutely to ≤ 1e-6 at every grading level. The ladder is expected to
+// engage (the tree is genuinely infeasible at the full blend width), so
+// EffectiveBlend must come back strictly below the requested radius.
+func TestCapGradingDeepTreeBlended(t *testing.T) {
 	n := BinaryTree(TreeParams{Depth: 2, RootRadius: 1, RootLen: 5})
 	n.SetFlow(0, 2)
 	for _, term := range n.Terminals() {
@@ -207,7 +210,7 @@ func TestCapGradingFallbackTree(t *testing.T) {
 	}
 	prm := bie.Params{QuadNodes: 4, Eta: 1, ExtrapOrder: 3, CheckR: 0.15, CheckDr: 0.15, NearFactor: 0.6}
 	solve := func(lv int) (resid float64, g *Geometry) {
-		g, err := BuildGeometry(n, TubeParams{Order: 4, AxialLen: 4.5, GradeLevels: lv})
+		g, err := BuildGeometry(n, TubeParams{Order: 4, AxialLen: 4.5, GradeLevels: lv, StrictBlend: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,14 +225,19 @@ func TestCapGradingFallbackTree(t *testing.T) {
 	}
 	ungraded, gu := solve(-1)
 	graded, gg := solve(DefaultGradeLevels)
-	// The fallback count is the recorded regression value: the two inner
-	// generation-1 junction nodes fall back today. If the tree builder or
-	// collar planner improves, this assertion should be updated downward.
-	if len(gu.FallbackNodes) != 2 || len(gg.FallbackNodes) != 2 {
-		t.Fatalf("fallback counts changed: ungraded %v, graded %v (expected 2 nodes each)",
-			gu.FallbackNodes, gg.FallbackNodes)
+	for _, g := range []*Geometry{gu, gg} {
+		if len(g.FallbackNodes) != 0 {
+			t.Fatalf("deep tree must blend every junction, got fallback nodes %v", g.FallbackNodes)
+		}
+		if len(g.Components()) != 1 {
+			t.Fatalf("fully blended tree must be one wall component, got %d", len(g.Components()))
+		}
+		if g.EffectiveBlend >= DefaultBlendRadius || g.EffectiveBlend <= 0 {
+			t.Fatalf("blend-width ladder should have engaged: EffectiveBlend %g (requested %g)",
+				g.EffectiveBlend, DefaultBlendRadius)
+		}
 	}
-	// Terminal caps must still be graded stacks on a fallback geometry.
+	// Terminal caps are still graded stacks on the blended tree.
 	capPatches := 0
 	for _, m := range gg.Meta {
 		if m.Kind == RootTerminalCap {
@@ -238,27 +246,32 @@ func TestCapGradingFallbackTree(t *testing.T) {
 	}
 	nTerm := len(gg.Caps)
 	if want := nTerm * (1 + 4*(DefaultGradeLevels+1)); capPatches != want {
-		t.Fatalf("graded fallback tree has %d terminal-cap patches, want %d", capPatches, want)
+		t.Fatalf("graded tree has %d terminal-cap patches, want %d", capPatches, want)
 	}
-	t.Logf("fallback nodes %v; residual ungraded %.3e, graded %.3e", gg.FallbackNodes, ungraded, graded)
-	if graded > 0.5*ungraded {
-		t.Fatalf("grading should substantially improve the fallback-tree solve: graded %g vs ungraded %g",
-			graded, ungraded)
+	t.Logf("effective blend %.3g; residual ungraded %.3e, graded %.3e", gg.EffectiveBlend, ungraded, graded)
+	for lv, resid := range map[int]float64{-1: ungraded, DefaultGradeLevels: graded} {
+		if resid > 1e-6 {
+			t.Fatalf("grade %d: GMRES residual %g exceeds 1e-6 on the blended deep tree", lv, resid)
+		}
 	}
-	// Seeding remains safe against the sharp union wall.
+	if graded > ungraded {
+		t.Fatalf("grading must not degrade the deep-tree solve: graded %g vs ungraded %g", graded, ungraded)
+	}
+	// Seeding remains safe against the blended wall (the geometry SDF): the
+	// tree is fully blended, so the shrunken blend field is the wall.
 	H := SplitHaematocrit(n, f, HaematocritParams{Inlet: 0.15, Gamma: 1.4})
 	cells := SeedCells(n, H, SeedParams{SphOrder: 4, CellRadius: 0.22, WallMargin: 0.06, Seed: 5})
-	field := NewField(n, 0)
+	sdf := gg.SDF()
 	for ci, c := range cells {
 		for i := range c.X[0] {
 			p := [3]float64{c.X[0][i], c.X[1][i], c.X[2][i]}
-			if v := field.EvalSharp(p); v >= 0 {
-				t.Fatalf("cell %d surface point outside the wall (F=%g)", ci, v)
+			if v := sdf(p); v >= 0 {
+				t.Fatalf("cell %d surface point outside the blended wall (F=%g)", ci, v)
 			}
 		}
 	}
 	if len(cells) == 0 {
-		t.Fatal("no cells seeded on the fallback tree")
+		t.Fatal("no cells seeded on the deep tree")
 	}
 }
 

@@ -1,0 +1,96 @@
+package network
+
+import "math"
+
+// collarCurve is the anisotropic collar of one junction incidence: the
+// arc-length station ell(phi) at which the barrel hands over to the junction
+// hull, as a function of the rim azimuth phi. It is a truncated Fourier
+// series (hence C^inf, in particular the C1 rim curve the hull and the
+// warped barrel bands share), fitted to per-azimuth minimal feasible
+// stations with Lanczos sigma smoothing and then lifted so the curve
+// dominates every sample — the smoothed rim never undercuts the sampled
+// clearance frontier.
+type collarCurve struct {
+	a0     float64
+	ac, as []float64 // cos/sin harmonic coefficients, index h-1
+	// ellMin/ellMax are the extremes of the curve over a full turn (with a
+	// small Lipschitz-based guard), used for collar budgets, disjointness
+	// and the straight-barrel handover station.
+	ellMin, ellMax float64
+}
+
+// arc evaluates the collar arc length at azimuth phi.
+func (c *collarCurve) arc(phi float64) float64 {
+	v := c.a0
+	for h := 1; h <= len(c.ac); h++ {
+		v += c.ac[h-1]*math.Cos(float64(h)*phi) + c.as[h-1]*math.Sin(float64(h)*phi)
+	}
+	return v
+}
+
+// lipschitz bounds |d ell / d phi| over the whole curve.
+func (c *collarCurve) lipschitz() float64 {
+	var l float64
+	for h := 1; h <= len(c.ac); h++ {
+		l += float64(h) * math.Hypot(c.ac[h-1], c.as[h-1])
+	}
+	return l
+}
+
+// lift shifts the whole curve away from the junction by d (validation
+// retries use it to buy clearance without refitting).
+func (c *collarCurve) lift(d float64) {
+	c.a0 += d
+	c.ellMin += d
+	c.ellMax += d
+}
+
+func (c *collarCurve) computeExtremes() {
+	const m = 1024
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := 0; k < m; k++ {
+		v := c.arc(2 * math.Pi * float64(k) / m)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Between scan points the curve moves at most lipschitz()*step/2.
+	guard := c.lipschitz() * math.Pi / m
+	c.ellMin, c.ellMax = lo-guard, hi+guard
+}
+
+// fitCollarCurve fits a smoothed trigonometric polynomial to samples taken
+// at the equispaced azimuths phi_k = 2*pi*k/len(samples). The Lanczos sigma
+// factors damp Gibbs oscillation of the truncation; the subsequent uplift
+// (max sample deficit + pad) makes the curve dominate every sample, so
+// smoothing errs on the clear side of the sampled feasibility frontier.
+func fitCollarCurve(samples []float64, harmonics int, pad float64) *collarCurve {
+	m := len(samples)
+	if harmonics > (m-1)/2 {
+		harmonics = (m - 1) / 2
+	}
+	c := &collarCurve{ac: make([]float64, harmonics), as: make([]float64, harmonics)}
+	for _, s := range samples {
+		c.a0 += s / float64(m)
+	}
+	for h := 1; h <= harmonics; h++ {
+		var ca, sa float64
+		for k, s := range samples {
+			ang := 2 * math.Pi * float64(h) * float64(k) / float64(m)
+			ca += s * math.Cos(ang)
+			sa += s * math.Sin(ang)
+		}
+		x := math.Pi * float64(h) / float64(harmonics+1)
+		sigma := math.Sin(x) / x
+		c.ac[h-1] = sigma * 2 * ca / float64(m)
+		c.as[h-1] = sigma * 2 * sa / float64(m)
+	}
+	var up float64
+	for k, s := range samples {
+		if d := s - c.arc(2*math.Pi*float64(k)/float64(m)); d > up {
+			up = d
+		}
+	}
+	c.a0 += up + pad
+	c.computeExtremes()
+	return c
+}

@@ -187,6 +187,22 @@ func (f *Field) MinOtherSeg(x [3]float64, si int) float64 {
 	return m
 }
 
+// OtherWithin reports whether any segment other than si comes within
+// distance d of x — the early-exit form of MinOtherSeg(x, si) < d. The
+// per-azimuth collar search calls it in its innermost loop, where bailing
+// on the first too-close tube beats folding the full minimum.
+func (f *Field) OtherWithin(x [3]float64, si int, d float64) bool {
+	for sj := range f.segs {
+		if sj == si {
+			continue
+		}
+		if f.SegDistance(sj, x) < d {
+			return true
+		}
+	}
+	return false
+}
+
 // smin2 is the compactly supported cubic smooth minimum: equal to
 // min(a, b) when |a-b| >= k, C2 and at most k/6 below the minimum inside
 // the blend band (the C2 regularity keeps the blended wall spectrally

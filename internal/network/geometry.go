@@ -150,8 +150,16 @@ type TubeParams struct {
 	// BlendRadius is the smooth-min blend width of the blended model in
 	// units of the smallest segment radius (0 = DefaultBlendRadius).
 	BlendRadius float64
+	// BlendShrink is the number of times the junction planner may halve
+	// BlendRadius to make every junction blendable (the automatic
+	// blend-width feasibility ladder; the largest fully feasible width
+	// wins and Geometry.EffectiveBlend records it). 0 = DefaultBlendShrink;
+	// a negative value disables shrinking.
+	BlendShrink int
 	// StrictBlend makes BuildGeometry fail instead of falling back to
-	// capsule caps at junction nodes too tight to blend.
+	// capsule caps at junction nodes too tight to blend (after the
+	// blend-width ladder is exhausted); the error aggregates every
+	// infeasible node with its reason (see BlendError).
 	StrictBlend bool
 	// GradeLevels is the number of dyadic panel levels of the edge-graded
 	// rim discretization: terminal caps become center-plus-annulus stacks
@@ -176,6 +184,11 @@ const (
 	DefaultGradeRatio  = 0.5
 )
 
+// DefaultBlendShrink is the default depth of the blend-width feasibility
+// ladder: the planner may shrink the blend width down to BlendRadius/2³
+// before giving up on blending a junction.
+const DefaultBlendShrink = 3
+
 func (p *TubeParams) defaults() {
 	if p.Order == 0 {
 		p.Order = 8
@@ -195,6 +208,9 @@ func (p *TubeParams) defaults() {
 	if p.GradeRatio == 0 {
 		p.GradeRatio = DefaultGradeRatio
 	}
+	if p.BlendShrink == 0 {
+		p.BlendShrink = DefaultBlendShrink
+	}
 }
 
 // gradeLevels returns the effective grading level after defaults: -1 when
@@ -204,6 +220,15 @@ func (p TubeParams) gradeLevels() int {
 		return -1
 	}
 	return p.GradeLevels
+}
+
+// blendShrink returns the effective ladder depth after defaults: 0 when
+// shrinking is disabled.
+func (p TubeParams) blendShrink() int {
+	if p.BlendShrink < 0 {
+		return 0
+	}
+	return p.BlendShrink
 }
 
 // Geometry is the surface realization of a network: root patches plus
@@ -231,6 +256,11 @@ type Geometry struct {
 	// FallbackNodes lists junction nodes realized with legacy capsule caps
 	// because no feasible blend existed there (empty when fully blended).
 	FallbackNodes []int
+	// EffectiveBlend is the blend radius actually used, in units of the
+	// smallest segment radius: TubeParams.BlendRadius, possibly halved up
+	// to BlendShrink times by the planner's feasibility ladder so that
+	// every junction blends.
+	EffectiveBlend float64
 
 	field       *Field
 	blendNodes  map[int]bool
@@ -247,7 +277,7 @@ func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
 	}
 	tp.defaults()
 	g := &Geometry{Net: n, Model: tp.Junction, Tube: tp, blendNodes: map[int]bool{}}
-	g.field = NewField(n, tp.BlendRadius)
+	g.EffectiveBlend = tp.BlendRadius
 	deg := n.Degree()
 	cache := newSegGeomCache(n)
 	var plans map[int]*junctionPlan
@@ -255,10 +285,12 @@ func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
 	var hullMeta []RootMeta
 	if tp.Junction == JunctionBlended {
 		var err error
-		plans, err = planJunctions(n, cache, g.field, tp)
+		var br float64
+		plans, g.field, br, err = planJunctions(n, cache, tp)
 		if err != nil {
 			return nil, err
 		}
+		g.EffectiveBlend = br
 		// Attempt every hull BEFORE emitting barrels: a node whose hull
 		// ray-cast fails (surface not star-shaped there) is demoted to the
 		// capsule fallback while its incident barrels can still be emitted
@@ -302,6 +334,8 @@ func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
 			hullMeta = append(hullMeta, meta...)
 			g.blendNodes[node] = true
 		}
+	} else {
+		g.field = NewField(n, tp.BlendRadius)
 	}
 	blendPlan := func(node int) *junctionPlan {
 		if p := plans[node]; p != nil && p.blended {
@@ -317,13 +351,20 @@ func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
 		if L < 2*r && deg[seg.A] > 1 && deg[seg.B] > 1 && (pa == nil || pb == nil) {
 			return nil, fmt.Errorf("network: segment %d too short (L=%g) for its radius %g between capsule junctions", si, L, r)
 		}
-		// Barrel parameter range: trimmed at blended collars.
+		// Barrel parameter range: the straight barrel runs between the
+		// blended ends' handover stations; the anisotropic stretch from the
+		// collar rim curve to the handover is covered by warped graded
+		// bands that share the exact rim curve with the junction hull.
+		ea := endOf(pa, si, 0)
+		eb := endOf(pb, si, 1)
 		tLo, tHi := 0.0, 1.0
-		if pa != nil {
-			tLo = collarOf(pa, si)
+		if ea != nil {
+			tLo = ea.tJoin
+			g.addWarpedCollar(tp, cu, sw, si, r, ea)
 		}
-		if pb != nil {
-			tHi = collarOf(pb, si)
+		if eb != nil {
+			tHi = eb.tJoin
+			g.addWarpedCollar(tp, cu, sw, si, r, eb)
 		}
 		nu := int(math.Ceil(arcBetween(cu, tLo, tHi) / (tp.AxialLen * r)))
 		if nu < 1 {
@@ -331,10 +372,12 @@ func BuildGeometry(n *Network, tp TubeParams) (*Geometry, error) {
 		}
 		g.analyticVol += math.Pi * r * r * L
 		// Rim-graded axial breakpoints: a barrel end that meets a terminal
-		// cap or a blended collar borders a rim seam, and its end panel is
-		// replaced by a dyadically graded stack sharing the rim circle.
-		rimLo := pa != nil || deg[seg.A] == 1
-		rimHi := pb != nil || deg[seg.B] == 1
+		// cap borders a rim seam, and its end panel is replaced by a
+		// dyadically graded stack sharing the rim circle. Blended ends need
+		// no grading here — their warped bands carry the rim grading, and
+		// the handover at tJoin is a smooth tube continuation.
+		rimLo := ea == nil && deg[seg.A] == 1
+		rimHi := eb == nil && deg[seg.B] == 1
 		tBks := quadrature.GradedSpanBreakpoints(tLo, tHi, nu, rimLo, rimHi, tp.gradeLevels(), tp.GradeRatio)
 		// Barrel.
 		for a := 0; a+1 < len(tBks); a++ {
@@ -404,6 +447,30 @@ func orientedPatch(order int, f func(u, v float64) [3]float64, ref func(x [3]flo
 // orientedRoot is orientedPatch plus registration as a root.
 func (g *Geometry) orientedRoot(order int, f func(u, v float64) [3]float64, ref func(x [3]float64) [3]float64, m RootMeta) {
 	g.addRoot(orientedPatch(order, f, ref), m)
+}
+
+// addWarpedCollar emits one blended end's warped graded bands: per azimuth,
+// the tube surface between the anisotropic collar rim curve (s = 0, the
+// exact curve the junction hull patches share) and the straight handover
+// station tJoin (s = 1, an exact circle shared with the straight barrel).
+// The dyadic s-grading toward the rim replaces the straight-barrel rim
+// grading of the former planar collars.
+func (g *Geometry) addWarpedCollar(tp TubeParams, cu *Curve, sw *sweep, si int, r float64, e *junctionEnd) {
+	surf := func(s, phi float64) [3]float64 {
+		tr := e.tRim(phi)
+		t := tr + s*(e.tJoin-tr)
+		ctr := cu.Point(t)
+		_, n1, n2 := sw.Frame(t)
+		return circlePoint(ctr, n1, n2, r, phi)
+	}
+	// At the A end s advances along +t, so u→s, v→phi is outward exactly
+	// like the straight barrel's u→t, v→phi; at the B end s runs against
+	// +t and the transpose keeps du×dv outward.
+	swap := e.end == 1
+	meta := RootMeta{Kind: RootWall, Seg: si, Node: -1}
+	for _, p := range vessel.GradedWarpBands(tp.Order, tp.NV, tp.gradeLevels(), tp.GradeRatio, swap, surf) {
+		g.addRoot(p, meta)
+	}
 }
 
 // addTerminalCap closes a terminal end with a flat disk — the seed-era

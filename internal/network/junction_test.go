@@ -9,6 +9,7 @@ package network
 // Junction -short`).
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -346,14 +347,103 @@ func TestJunctionDegreeTwoElbow(t *testing.T) {
 	}
 }
 
+// narrowY builds the narrow-bifurcation probe geometry at a given half
+// opening angle, with BCs attached so the flow solve works too.
+func narrowY(halfAngle float64) *Network {
+	n := YBifurcation(YParams{ParentRadius: 1, ChildRadius: 0.9, ParentLen: 5, ChildLen: 2.2, HalfAngle: halfAngle})
+	n.SetFlow(0, 2)
+	n.SetPressure(2, 0)
+	n.SetPressure(3, 0)
+	return n
+}
+
+// sweepY is the feasibility-sweep geometry: testY proportions (children at
+// 3/4 the parent radius, long enough that the child tubes separate) with a
+// variable half opening angle.
+func sweepY(halfAngle float64) *Network {
+	n := YBifurcation(YParams{ParentRadius: 1, ChildRadius: 0.75, ParentLen: 5, ChildLen: 4, HalfAngle: halfAngle})
+	n.SetFlow(0, 2)
+	n.SetPressure(2, 0)
+	n.SetPressure(3, 0)
+	return n
+}
+
+// TestJunctionHalfAngleFeasibilitySweep pins the feasibility frontier of
+// the anisotropic collars on the sweep Y: every half-angle down to 0.25
+// blends strictly with no fallback (the isotropic collars needed >= 0.40 —
+// 0.35 already fell back), and the genuinely impossible angles below that
+// report a typed BlendError naming the node while the non-strict build
+// still degrades gracefully to the capsule fallback.
+func TestJunctionHalfAngleFeasibilitySweep(t *testing.T) {
+	for _, ha := range []float64{0.25, 0.30, 0.35, 0.40} {
+		g, err := BuildGeometry(sweepY(ha), TubeParams{Order: 6, AxialLen: 3.5, StrictBlend: true})
+		if err != nil {
+			t.Fatalf("half-angle %g must blend strictly (isotropic collars only managed 0.40): %v", ha, err)
+		}
+		if len(g.FallbackNodes) != 0 {
+			t.Fatalf("half-angle %g: unexpected fallback nodes %v", ha, g.FallbackNodes)
+		}
+		if g.EffectiveBlend <= 0 || g.EffectiveBlend > DefaultBlendRadius {
+			t.Fatalf("half-angle %g: effective blend %g out of range", ha, g.EffectiveBlend)
+		}
+		t.Logf("half-angle %.2f: blended at effective blend %.3g", ha, g.EffectiveBlend)
+	}
+	for _, ha := range []float64{0.06, 0.10} {
+		_, err := BuildGeometry(sweepY(ha), TubeParams{Order: 6, AxialLen: 3.5, StrictBlend: true})
+		var be *BlendError
+		if !errors.As(err, &be) {
+			t.Fatalf("half-angle %g: want a *BlendError, got %v", ha, err)
+		}
+		if len(be.Nodes) != 1 || be.Nodes[0].Node != 1 || be.Nodes[0].Reason == "" {
+			t.Fatalf("half-angle %g: BlendError should name node 1 with a reason, got %+v", ha, be.Nodes)
+		}
+		g, err := BuildGeometry(sweepY(ha), TubeParams{Order: 6, AxialLen: 3.5})
+		if err != nil {
+			t.Fatalf("half-angle %g: non-strict build must still succeed: %v", ha, err)
+		}
+		if len(g.FallbackNodes) != 1 || g.FallbackNodes[0] != 1 {
+			t.Fatalf("half-angle %g: expected capsule fallback at node 1, got %v", ha, g.FallbackNodes)
+		}
+	}
+}
+
+// TestJunctionAnisotropicHullWatertight runs the watertightness ladder on a
+// Y narrow enough that the collars are strongly anisotropic (the rim curve
+// is non-planar and the blend-width ladder may engage): the closure
+// identity ∮ n dA = 0 holds to quadrature accuracy and the enclosed volume
+// converges under patch-order refinement.
+func TestJunctionAnisotropicHullWatertight(t *testing.T) {
+	n := sweepY(0.28)
+	var vols []float64
+	for _, order := range []int{4, 6, 8} {
+		g, err := BuildGeometry(n, TubeParams{Order: order, AxialLen: 3.5, StrictBlend: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.FallbackNodes) != 0 {
+			t.Fatalf("order %d: narrow Y fell back: %v", order, g.FallbackNodes)
+		}
+		s := g.Surface(0, volumeBIE())
+		if defect := ClosureDefect(s); defect > 5e-6 {
+			t.Fatalf("order %d: closure defect %g (anisotropic hull not watertight)", order, defect)
+		}
+		vols = append(vols, DivergenceVolume(s))
+	}
+	d1 := math.Abs(vols[1] - vols[0])
+	d2 := math.Abs(vols[2] - vols[1])
+	if d2 > 0.5*d1 && d2 > 1e-3*vols[2] {
+		t.Fatalf("volume not converging under refinement on the narrow Y: %v (diffs %g, %g)", vols, d1, d2)
+	}
+	if d2 > 2e-3*vols[2] {
+		t.Fatalf("volume ladder spread too wide on the narrow Y: %v", vols)
+	}
+}
+
 // TestJunctionTooTightFallsBack verifies the compatibility path: a
 // bifurcation too narrow to blend falls back to capsule caps at that node
 // (keeping the geometry buildable), while StrictBlend surfaces the error.
 func TestJunctionTooTightFallsBack(t *testing.T) {
-	n := YBifurcation(YParams{ParentRadius: 1, ChildRadius: 0.9, ParentLen: 5, ChildLen: 2.2, HalfAngle: 0.06})
-	n.SetFlow(0, 2)
-	n.SetPressure(2, 0)
-	n.SetPressure(3, 0)
+	n := narrowY(0.06)
 	if _, err := BuildGeometry(n, TubeParams{Order: 6, AxialLen: 3.5, StrictBlend: true}); err == nil {
 		t.Fatal("StrictBlend must reject a junction too tight to blend")
 	}

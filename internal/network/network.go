@@ -245,6 +245,10 @@ func (c *Curve) Tangent(t float64) [3]float64 {
 // Length returns the arc length of the centerline.
 func (c *Curve) Length() float64 { return c.length }
 
+// Straight reports whether the centerline is a straight chord (no control
+// points), in which case arc length is exactly linear in the parameter.
+func (c *Curve) Straight() bool { return len(c.ctrl) == 2 }
+
 // UnitTangent returns the normalized tangent at t.
 func (c *Curve) UnitTangent(t float64) [3]float64 {
 	return patch.Normalize(c.Tangent(t))

@@ -344,7 +344,14 @@ func junctionKey(p Params) string {
 	if blend == 0 {
 		blend = network.DefaultBlendRadius
 	}
-	return fmt.Sprintf("junction=blend%g,%s", blend, grade)
+	shrink := p.JunctionShrink
+	switch {
+	case shrink < 0:
+		shrink = 0
+	case shrink == 0:
+		shrink = network.DefaultBlendShrink
+	}
+	return fmt.Sprintf("junction=blend%g,shrink=%d,%s", blend, shrink, grade)
 }
 
 // gradeLevels canonicalizes the cap_grading axis: 0 = model default,
@@ -379,6 +386,7 @@ func buildNetworkGeom(net *network.Network, p Params) (*Geom, error) {
 	ng, err := network.BuildGeometry(net, network.TubeParams{
 		Order: 6, AxialLen: 3.5,
 		Junction: junctionModel(p), BlendRadius: p.JunctionBlend,
+		BlendShrink: p.JunctionShrink,
 		GradeLevels: gradeLevels(p),
 	})
 	if err != nil {

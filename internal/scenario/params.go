@@ -47,6 +47,11 @@ type Params struct {
 	// JunctionBlend is the smooth-min blend width of the blended junction
 	// surfaces in units of the smallest segment radius (0 = model default).
 	JunctionBlend float64 `json:"junction_blend,omitempty"`
+	// JunctionShrink is the blend-width feasibility ladder depth: the number
+	// of width halvings the collar planner may try when a junction is not
+	// blendable at the requested width (0 = model default
+	// network.DefaultBlendShrink, negative = ladder disabled).
+	JunctionShrink int `json:"junction_shrink,omitempty"`
 	// LegacyJunctions switches the network geometry back to the overlapping
 	// capsule junction model (compatibility flag; see DESIGN.md).
 	LegacyJunctions bool `json:"legacy_junctions,omitempty"`
