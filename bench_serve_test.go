@@ -1,0 +1,195 @@
+package rbcflow_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rbcflow/internal/serve"
+)
+
+// BenchmarkServeDaemon load-tests the simulation-as-a-service daemon and
+// emits BENCH_serve.json: request latency percentiles against concurrent
+// client counts (free-space runs, so the numbers profile the service layer,
+// not the solver), plus the plan-coalescing counts of a concurrent walled
+// burst — requests, plan builds, in-memory reuses. The counts are
+// deterministic (exactly one build per geometry fingerprint); the latencies
+// are wall-clock and gated only loosely across machines.
+func BenchmarkServeDaemon(b *testing.B) {
+	type levelOut struct {
+		Clients  int     `json:"clients"`
+		Requests int     `json:"requests"`
+		P50S     float64 `json:"p50_s"`
+		P99S     float64 `json:"p99_s"`
+		WallS    float64 `json:"wall_s"`
+	}
+
+	post := func(url string, req serve.RunRequest) (*serve.RunResult, error) {
+		blob, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var res serve.RunResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return nil, err
+		}
+		if res.Status != "ok" {
+			return nil, fmt.Errorf("run %s: %s (%s)", res.ID, res.Status, res.Error)
+		}
+		return &res, nil
+	}
+	pct := func(sorted []float64, q float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+
+	// runLevel fires `total` requests from `clients` concurrent client
+	// loops and returns the latency distribution.
+	runLevel := func(url string, clients, total int) (levelOut, error) {
+		var mu sync.Mutex
+		var lats []float64
+		var firstErr error
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for r := c; r < total; r += clients {
+					rt0 := time.Now()
+					_, err := post(url, serve.RunRequest{
+						Scenario: "shear",
+						Params:   map[string]float64{"sph_order": 3},
+						Steps:    1,
+						Ranks:    1,
+					})
+					lat := time.Since(rt0).Seconds()
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					lats = append(lats, lat)
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return levelOut{}, firstErr
+		}
+		sort.Float64s(lats)
+		return levelOut{
+			Clients:  clients,
+			Requests: total,
+			P50S:     pct(lats, 0.50),
+			P99S:     pct(lats, 0.99),
+			WallS:    time.Since(t0).Seconds(),
+		}, nil
+	}
+
+	for i := 0; i < b.N; i++ {
+		// Latency sweep: service-layer overhead under growing concurrency.
+		latSrv := serve.New(serve.Config{
+			Ranks: 1, Steps: 1, Workers: 2,
+			MaxBatch: 4, BatchWait: time.Millisecond,
+		}, serve.NewMemStore(), nil)
+		ts := httptest.NewServer(latSrv.Handler())
+		var levels []levelOut
+		for _, clients := range []int{1, 4, 8} {
+			lv, err := runLevel(ts.URL, clients, 16)
+			if err != nil {
+				ts.Close()
+				b.Fatal(err)
+			}
+			levels = append(levels, lv)
+		}
+		ts.Close()
+
+		// Coalescing burst: 4 concurrent walled (torus) requests sharing one
+		// geometry key — exactly one plan build, three in-memory reuses.
+		const burst = 4
+		coSrv := serve.New(serve.Config{
+			Ranks: 2, Steps: 1, Workers: burst,
+			MaxBatch: burst, BatchWait: 5 * time.Second,
+		}, serve.NewMemStore(), nil)
+		cts := httptest.NewServer(coSrv.Handler())
+		var wg sync.WaitGroup
+		errs := make([]error, burst)
+		t0 := time.Now()
+		for r := 0; r < burst; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				_, errs[r] = post(cts.URL, serve.RunRequest{
+					Scenario: "torus",
+					Params:   map[string]float64{"sph_order": 3, "max_cells": 1},
+					Steps:    1,
+				})
+			}(r)
+		}
+		wg.Wait()
+		burstWall := time.Since(t0).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				cts.Close()
+				b.Fatal(err)
+			}
+		}
+		stats := coSrv.StatsSnapshot()
+		cts.Close()
+		if len(stats.PlanStats) != 1 {
+			b.Fatalf("want 1 plan fingerprint, got %+v", stats.PlanStats)
+		}
+		ps := stats.PlanStats[0]
+
+		last := levels[len(levels)-1]
+		b.ReportMetric(last.P50S*1e3, "p50-ms@8clients")
+		b.ReportMetric(float64(ps.Builds), "plan-builds")
+		b.ReportMetric(float64(ps.Reuses), "plan-reuses")
+
+		if i == b.N-1 {
+			blob, err := json.MarshalIndent(map[string]any{
+				"benchmark": "BenchmarkServeDaemon",
+				"note": "latency sweep uses free-space shear runs (service-layer cost);" +
+					" the coalescing burst is 4 concurrent torus requests on one geometry key",
+				// Recorded so cmd/benchdiff refuses to gate timings across
+				// differently-parallel runners.
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"latency":    levels,
+				"coalescing": map[string]any{
+					"burst_wall_s": burstWall,
+					"phase_counts": map[string]int64{
+						"serve.requests":     int64(stats.Requests),
+						"serve.batches":      stats.Batches,
+						"serve.coalesced":    stats.Coalesced,
+						"serve.plan_builds":  int64(ps.Builds),
+						"serve.plan_reuses":  int64(ps.Reuses),
+						"serve.plan_fingers": int64(len(stats.PlanStats)),
+					},
+				},
+			}, "", "  ")
+			if err == nil {
+				_ = os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644)
+			}
+		}
+	}
+}

@@ -14,19 +14,30 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"rbcflow/internal/scenario"
 	"rbcflow/internal/telemetry"
 	"rbcflow/internal/trace"
 )
 
+// main delegates to run so deferred cleanup (the -debug-addr listener
+// shutdown, the signal handler) executes on EVERY exit path — os.Exit in
+// main would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	configPath := flag.String("config", "", "JSON campaign config (flags override its fields)")
 	scenarios := flag.String("scenarios", "", `comma-separated scenario names, or "all"`)
 	sweep := flag.String("sweep", "", `sweep axes, e.g. "hct=0.1,0.2;level=0,1"`)
@@ -53,7 +64,7 @@ func main() {
 	if *configPath != "" {
 		var err error
 		if cfg, err = scenario.LoadCampaignConfig(*configPath); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *scenarios != "" {
@@ -69,12 +80,12 @@ func main() {
 	if len(cfg.Scenarios) == 0 {
 		fmt.Fprintln(os.Stderr, "no scenarios selected; use -scenarios or a -config file. Registered:")
 		listScenarios()
-		os.Exit(2)
+		return 2
 	}
 	if *sweep != "" {
 		axes, err := parseSweep(*sweep)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if cfg.Sweep == nil {
 			cfg.Sweep = map[string][]float64{}
@@ -98,7 +109,9 @@ func main() {
 	if *outEvery > 0 {
 		cfg.OutputEvery = *outEvery
 	}
-	if *timeout > 0 {
+	if *timeout != 0 {
+		// Pass negatives through so Normalize rejects them loudly instead of
+		// the flag silently masking a bad value.
 		cfg.TimeoutSec = *timeout
 	}
 	if *machine != "" {
@@ -124,11 +137,13 @@ func main() {
 		rec = trace.New(0)
 		cfg.Trace = rec
 	}
-	cfg.Defaults()
+	if err := cfg.Normalize(); err != nil {
+		return fail(err)
+	}
 
 	specs, err := scenario.ExpandSweep(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *dryRun {
@@ -139,8 +154,15 @@ func main() {
 		for _, s := range specs {
 			fmt.Printf("  %s\n", s.ID)
 		}
-		return
+		return 0
 	}
+
+	// ^C (or SIGTERM) cancels the campaign context: in-flight runs stop at
+	// their next step boundary and are recorded as "cancelled", queued runs
+	// never start, and the manifest is still written — so a drained campaign
+	// resumes cleanly on rerun. A second signal kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *debugAddr != "" {
 		// The served registry carries the shared recorder so /trace exports
@@ -149,13 +171,19 @@ func main() {
 		dreg.SetTracer(rec)
 		addr, shutdown, err := telemetry.ServeDebug(*debugAddr, dreg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer shutdown()
+		// Graceful shutdown on every exit path: in-flight scrapes finish,
+		// then the listener closes.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(sctx)
+		}()
 		fmt.Printf("debug listener on http://%s (/trace, /debug/pprof)\n", addr)
 	}
 
-	m, err := scenario.RunCampaign(cfg, *out, os.Stdout)
+	m, err := scenario.RunCampaignContext(ctx, cfg, *out, os.Stdout)
 	if *traceOut != "" {
 		if terr := rec.WriteChromeFile(*traceOut); terr != nil {
 			fmt.Fprintln(os.Stderr, terr)
@@ -164,7 +192,7 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("campaign complete: %d/%d runs ok; manifest at %s/manifest.json\n",
 		m.OKCount(), len(m.Runs), *out)
@@ -182,13 +210,14 @@ func main() {
 	}
 	if *telemetryOut != "" {
 		if err := writeCampaignTelemetry(*telemetryOut, m); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("telemetry aggregates written to %s\n", *telemetryOut)
 	}
 	if m.OKCount() < len(m.Runs) {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeCampaignTelemetry dumps the manifest's telemetry view: the campaign
@@ -251,7 +280,9 @@ func parseSweep(s string) (map[string][]float64, error) {
 	return out, nil
 }
 
-func fatal(err error) {
+// fail prints the error and yields run's exit code, letting deferred
+// cleanup execute (unlike os.Exit).
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 1
 }

@@ -8,16 +8,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"rbcflow"
 )
 
+// main delegates to run so deferred cleanup (the -debug-addr listener
+// shutdown) executes on EVERY exit path — os.Exit in main would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scn := flag.String("scenario", "y", "network scenario: y | tree | honeycomb (or any registered network-* name)")
 	load := flag.String("load", "", "load a JSON network instead of a builder")
 	save := flag.String("save", "", "save the built network as JSON and exit")
@@ -67,20 +75,20 @@ func main() {
 		net, err := rbcflow.ScenarioNetworkGraph(name, params)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := rbcflow.SaveNetwork(net, *save); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("saved network (%d nodes, %d segments) to %s\n", len(net.Nodes), len(net.Segs), *save)
-		return
+		return 0
 	}
 
 	b, err := rbcflow.BuildScenario(name, params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	net, flow, H := b.Geom.Net, b.Geom.Flow, b.Haematocrit
 
@@ -113,20 +121,20 @@ func main() {
 		vol, errEst, err := rbcflow.NetworkNumericalVolume(net, b.Geom.NetGeom.Tube, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  converged volume %.6f ± %.2e (tube-sum reference %.3f)\n",
 			vol, errEst, b.Geom.NetGeom.AnalyticVolume())
 	}
 
 	if !*simulate {
-		return
+		return 0
 	}
 	fmt.Printf("surface: %d patches (volume %.3f, tube-sum reference %.3f); %d cells seeded\n",
 		b.Surf.F.NumPatches(), rbcflow.VesselVolume(b.Surf), b.Geom.NetGeom.AnalyticVolume(), len(b.Cells))
 	if len(b.Cells) == 0 {
 		fmt.Println("no cells fit this configuration; increase -hct or network size")
-		return
+		return 0
 	}
 
 	var reg *rbcflow.TelemetryRegistry
@@ -146,9 +154,15 @@ func main() {
 		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer shutdown()
+		// Graceful shutdown on every exit path: in-flight /metrics scrapes
+		// finish, then the listener closes.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(ctx)
+		}()
 		fmt.Printf("debug listener on http://%s (/metrics, /trace, /debug/pprof)\n", addr)
 	}
 
@@ -164,7 +178,7 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if outcome.PlanFingerprint != "" {
 		fmt.Printf("wall plan %.12s (%s)\n", outcome.PlanFingerprint, outcome.PlanSource)
@@ -179,15 +193,16 @@ func main() {
 	if *telemetryOut != "" {
 		if err := rbcflow.WriteTelemetryJSON(*telemetryOut, outcome.Telemetry); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
 	if *traceOut != "" {
 		if err := rbcflow.WriteTraceJSON(*traceOut, rec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("execution timeline written to %s\n", *traceOut)
 	}
+	return 0
 }

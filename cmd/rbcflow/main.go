@@ -8,14 +8,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rbcflow"
 )
 
+// main delegates to run so deferred cleanup (the -debug-addr listener
+// shutdown) executes on EVERY exit path — os.Exit in main would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	name := flag.String("scenario", "torus", "registered scenario name")
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	ranks := flag.Int("ranks", 2, "number of ranks")
@@ -41,7 +49,7 @@ func main() {
 		for _, s := range rbcflow.Scenarios() {
 			fmt.Println(" ", s)
 		}
-		return
+		return 0
 	}
 
 	b, err := rbcflow.BuildScenario(*name, rbcflow.ScenarioParams{
@@ -50,7 +58,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if b.Surf != nil {
 		fmt.Printf("%s: %d patches, %d cells, volume fraction %.1f%%\n",
@@ -76,9 +84,15 @@ func main() {
 		addr, shutdown, err := rbcflow.ServeTelemetry(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer shutdown()
+		// Graceful shutdown on every exit path (run returns, main exits):
+		// in-flight /metrics scrapes finish, then the listener closes.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = shutdown(ctx)
+		}()
 		fmt.Printf("debug listener on http://%s (/metrics, /trace, /debug/pprof)\n", addr)
 	}
 
@@ -96,7 +110,7 @@ func main() {
 			}
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if outcome.PlanFingerprint != "" {
 		fmt.Printf("wall plan %.12s (%s)\n", outcome.PlanFingerprint, outcome.PlanSource)
@@ -118,18 +132,19 @@ func main() {
 	if *telemetryOut != "" {
 		if err := rbcflow.WriteTelemetryJSON(*telemetryOut, outcome.Telemetry); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
 	if *traceOut != "" {
 		if err := rbcflow.WriteTraceJSON(*traceOut, rec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("execution timeline written to %s\n", *traceOut)
 	}
 	if len(outcome.Outputs) > 0 {
 		fmt.Printf("wrote %d files under %s\n", len(outcome.Outputs), *out)
 	}
+	return 0
 }

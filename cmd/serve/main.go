@@ -1,0 +1,109 @@
+// Command serve runs the simulation-as-a-service daemon: an HTTP/JSON front
+// end over the scenario registry with a plan-coalescing batch queue, bounded
+// concurrent execution, per-request timeouts with real cancellation, and
+// graceful drain.
+//
+//	serve -addr localhost:8080 -out out/serve
+//	curl -s localhost:8080/v1/runs -d '{"scenario":"shear","steps":2,"params":{"max_cells":2}}'
+//	curl -sN localhost:8080/v1/runs -d '{"scenario":"torus","steps":3,"stream":true}'
+//	curl -s -X POST localhost:8080/v1/drain
+//
+// SIGINT/SIGTERM drain gracefully: in-flight runs finish (up to
+// -drain-grace), pending batches dispatch, the request log flushes, and the
+// listener shuts down cleanly. A second signal aborts in-flight runs, which
+// still exit at a collective step boundary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rbcflow/internal/serve"
+	"rbcflow/internal/telemetry"
+)
+
+// main delegates to run so deferred cleanup executes on every exit path —
+// os.Exit in main would skip it.
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	out := flag.String("out", "out/serve", `result store directory ("" = in-memory only)`)
+	ranks := flag.Int("ranks", 2, "default ranks per run")
+	steps := flag.Int("steps", 3, "default steps per run")
+	workers := flag.Int("workers", 2, "max concurrently stepping runs")
+	maxBatch := flag.Int("max-batch", 8, "dispatch a batch at this many coalesced requests")
+	batchWait := flag.Duration("batch-wait", 25*time.Millisecond, "max wait to fill a batch")
+	timeout := flag.Float64("timeout", 0, "default per-run timeout in seconds (0 = none; requests may override)")
+	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (shared across daemon restarts)")
+	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
+	drainGrace := flag.Duration("drain-grace", 60*time.Second, "how long drain waits for in-flight runs before aborting them")
+	flag.Parse()
+
+	var store serve.ResultStore
+	if *out != "" {
+		fs, err := serve.NewFSStore(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		store = fs
+	} else {
+		store = serve.NewMemStore()
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := serve.New(serve.Config{
+		Ranks: *ranks, Steps: *steps,
+		MaxBatch: *maxBatch, BatchWait: *batchWait,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		PlanCache:      *planCache, PrecomputeWorkers: *precomputeWorkers,
+	}, store, reg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("serve daemon on http://%s (/v1/runs, /v1/stats, /healthz, /metrics)\n", ln.Addr())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+	// Re-arm signals so a second ^C kills the process the OS way.
+	stopSignals()
+
+	fmt.Println("draining: refusing new runs, waiting for in-flight runs...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v (in-flight runs were cancelled)\n", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	st := srv.StatsSnapshot()
+	fmt.Printf("drained: %d requests, %d batches, %d coalesced\n", st.Requests, st.Batches, st.Coalesced)
+	return 0
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -23,6 +24,14 @@ import (
 
 // Config configures a simulation.
 type Config struct {
+	// Ctx, when non-nil, is the run's cancellation scope: Step checks it at
+	// every step boundary and agrees COLLECTIVELY (one allreduce, shared
+	// with the health verdict) whether any rank observed cancellation, so
+	// all ranks leave the step loop together and no collective deadlocks on
+	// an asymmetric abort. This is how per-request timeouts, client
+	// disconnects, and campaign run timeouts actually stop the compute loop
+	// instead of abandoning it. All ranks of a world MUST share one Ctx.
+	Ctx      context.Context
 	SphOrder int     // spherical-harmonic order of cells
 	Mu       float64 // ambient viscosity
 	KappaB   float64 // bending modulus
@@ -147,6 +156,12 @@ type StepStats struct {
 	// allreduce at the end of Step). Executors halt the run — and write the
 	// flight-recorder bundle — when it is set.
 	HealthTripped bool
+	// Cancelled reports the COLLECTIVE cancellation verdict: true on every
+	// rank when any rank observed Config.Ctx done by the end of this step
+	// (agreed by the same allreduce as HealthTripped). The completed step is
+	// consistent state; executors must stop stepping — and must not
+	// checkpoint the cancelled segment.
+	Cancelled bool
 }
 
 // New builds a simulation. cells are the global cell list; each rank keeps
@@ -374,16 +389,23 @@ func (s *Simulation) Step(c *par.Comm) StepStats {
 				}
 			}
 		}
-		// Collective trip agreement: every rank learns whether ANY rank
-		// tripped, so all ranks leave the step loop together and no rank
-		// strands the others in a collective. This allreduce is the only
-		// health overhead on the healthy path (one float per step).
-		flag := []float64{0}
-		if cfg.Health.Tripped() {
+	}
+	if cfg.Health != nil || cfg.Ctx != nil {
+		// Collective trip/cancel agreement: every rank learns whether ANY
+		// rank tripped its health monitor or observed context cancellation,
+		// so all ranks leave the step loop together and no rank strands the
+		// others in a collective. One allreduce covers both verdicts — the
+		// only overhead on the healthy path (two floats per step).
+		flag := []float64{0, 0}
+		if cfg.Health != nil && cfg.Health.Tripped() {
 			flag[0] = 1
+		}
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			flag[1] = 1
 		}
 		c.AllreduceMax(flag)
 		stats.HealthTripped = flag[0] > 0
+		stats.Cancelled = flag[1] > 0
 	}
 
 	s.LastStats = stats

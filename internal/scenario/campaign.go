@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -66,6 +67,10 @@ type CampaignConfig struct {
 	Trace *trace.Recorder `json:"-"`
 }
 
+// DefaultTimeoutSec is the per-run watchdog applied when a campaign config
+// leaves timeout_sec unset.
+const DefaultTimeoutSec = 600
+
 // Defaults fills zero fields.
 func (c *CampaignConfig) Defaults() {
 	if c.Steps == 0 {
@@ -81,8 +86,42 @@ func (c *CampaignConfig) Defaults() {
 		c.Workers = 2
 	}
 	if c.TimeoutSec == 0 {
-		c.TimeoutSec = 600
+		c.TimeoutSec = DefaultTimeoutSec
 	}
+}
+
+// ConfigError is a typed rejection of one campaign-config field; callers can
+// errors.As for it to distinguish bad configs from runtime failures.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("campaign: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Normalize validates the explicit fields, then fills defaults. Zero means
+// "take the default" throughout the config; explicit negatives are rejected
+// with a *ConfigError instead of being silently misinterpreted — a negative
+// timeout_sec used to produce a time.After duration that fired immediately,
+// recording every run as "timeout" without ever running it.
+func (c *CampaignConfig) Normalize() error {
+	if c.TimeoutSec < 0 {
+		return &ConfigError{Field: "timeout_sec",
+			Reason: fmt.Sprintf("must be positive, got %g (0 or omitted = default %ds)", c.TimeoutSec, DefaultTimeoutSec)}
+	}
+	if c.Steps < 0 {
+		return &ConfigError{Field: "steps", Reason: fmt.Sprintf("must be positive, got %d", c.Steps)}
+	}
+	if c.Ranks < 0 {
+		return &ConfigError{Field: "ranks", Reason: fmt.Sprintf("must be positive, got %d", c.Ranks)}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Field: "workers", Reason: fmt.Sprintf("must be positive, got %d", c.Workers)}
+	}
+	c.Defaults()
+	return nil
 }
 
 // MachineModel resolves the machine name.
@@ -181,7 +220,9 @@ type RunRecord struct {
 	Scenario    string `json:"scenario"`
 	Params      Params `json:"params"`
 	GeometryKey string `json:"geometry_key,omitempty"`
-	// Status: "ok", "failed", "timeout", "health-tripped", or
+	// Status: "ok", "failed", "timeout" (per-run watchdog fired and the run
+	// confirmed it stopped), "cancelled" (campaign-level context cancelled —
+	// drain/^C — before or during this run), "health-tripped", or
 	// "geometry-only" (non-steppable scenarios).
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
@@ -303,7 +344,18 @@ func (gc *geomCache) get(key string, build func() (*Geom, error)) (*Geom, error)
 // recorded in the manifest, not returned: the error is non-nil only for
 // campaign-level problems (bad config, unwritable outDir).
 func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest, error) {
-	cfg.Defaults()
+	return RunCampaignContext(context.Background(), cfg, outDir, logw)
+}
+
+// RunCampaignContext is RunCampaign under a cancellation scope: cancelling
+// ctx drains the campaign — in-flight runs are cancelled through the same
+// context path as per-run timeouts (they stop at a step boundary, skip the
+// partial checkpoint, and record "cancelled"), queued runs never start, and
+// the manifest is still written so the resume path can pick everything up.
+func RunCampaignContext(ctx context.Context, cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
 	machine, err := cfg.MachineModel()
 	if err != nil {
 		return nil, err
@@ -333,7 +385,7 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				records[i] = executeSpec(specs[i], cfg, machine, cache, outDir)
+				records[i] = executeSpec(ctx, specs[i], cfg, machine, cache, outDir)
 				r := records[i]
 				switch r.Status {
 				case "ok":
@@ -347,11 +399,27 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*Manifest,
 			}
 		}()
 	}
+feed:
 	for i := range specs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Runs the drain prevented from starting still appear in the manifest,
+	// explicitly cancelled, so every spec accounts for itself and a rerun
+	// resumes exactly the unfinished set.
+	for i := range records {
+		if records[i].Status == "" {
+			records[i] = RunRecord{
+				ID: specs[i].ID, Scenario: specs[i].Scenario, Params: specs[i].Params,
+				ResumedFrom: -1, Status: "cancelled", Error: "campaign cancelled before this run started",
+			}
+		}
+	}
 
 	m := &Manifest{
 		Config:          *cfg,
@@ -410,10 +478,14 @@ func aggregatePlanStats(records []RunRecord) []PlanStat {
 }
 
 // executeSpec runs one sweep point with panic containment and a watchdog
-// timeout. On timeout the worker moves on and the record says so; the
-// abandoned goroutine finishes (or not) in the background — compute can't
-// be preempted, but the campaign keeps draining.
-func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *geomCache, outDir string) RunRecord {
+// timeout enforced by REAL context cancellation: the per-run context is
+// threaded down to core.Step, which agrees collectively at every step
+// boundary, so a timed-out run STOPS — no zombie goroutine keeps burning CPU,
+// and nothing (checkpoint, CSV, telemetry) is written after the "timeout"
+// record lands in the manifest. The call is synchronous: it returns only
+// after the run's world has fully exited, which is the confirmation the
+// manifest record relies on.
+func executeSpec(ctx context.Context, spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *geomCache, outDir string) RunRecord {
 	rec := RunRecord{ID: spec.ID, Scenario: spec.Scenario, Params: spec.Params, ResumedFrom: -1}
 	scn, err := Get(spec.Scenario)
 	if err != nil {
@@ -424,17 +496,18 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 	p.Defaults()
 	rec.GeometryKey = scn.GeometryKey(p)
 
-	type result struct {
-		rec RunRecord
+	runCtx := ctx
+	if cfg.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, time.Duration(cfg.TimeoutSec*float64(time.Second)))
+		defer cancel()
 	}
-	done := make(chan result, 1)
-	go func() {
-		r := rec
+	run := func() (r RunRecord) {
+		r = rec
 		defer func() {
 			if e := recover(); e != nil {
 				r.Status, r.Error = "failed", fmt.Sprintf("panic: %v", e)
 			}
-			done <- result{r}
 		}()
 		geom, err := cache.get(spec.Scenario+"|"+rec.GeometryKey, func() (*Geom, error) {
 			return scn.BuildGeometry(p)
@@ -486,7 +559,7 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 				Log: slog.Default().With("layer", "health", "scenario", spec.Scenario, "run", spec.ID),
 			}, cfg.Trace, reg)
 		}
-		outcome, err := Execute(b, RunOptions{
+		outcome, err := ExecuteContext(runCtx, b, RunOptions{
 			Ranks:             cfg.Ranks,
 			Machine:           machine,
 			Steps:             cfg.Steps,
@@ -516,6 +589,24 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 			sort.Strings(r.Outputs)
 		}
 		if err != nil {
+			var cerr *CancelledError
+			if errors.As(err, &cerr) {
+				// The cancellation path confirmed the run stopped (the step
+				// worlds exited before ExecuteContext returned) and wrote
+				// nothing for the cancelled segment. Classify by cause: the
+				// per-run watchdog fired ("timeout") vs the campaign-level
+				// context ("cancelled", e.g. drain/^C).
+				if ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+					r.Status = "timeout"
+					r.Error = fmt.Sprintf("run exceeded %gs (stopped at step %d)", cfg.TimeoutSec, cerr.Step)
+				} else {
+					r.Status, r.Error = "cancelled", err.Error()
+				}
+				if outcome != nil {
+					recordTelemetry()
+				}
+				return
+			}
 			var herr *HealthError
 			if errors.As(err, &herr) {
 				// The monitor halted the run at a step boundary: a structured
@@ -550,16 +641,9 @@ func executeSpec(spec RunSpec, cfg *CampaignConfig, machine par.Machine, cache *
 		r.NumCells = len(outcome.Centroids)
 		r.VirtualTime = outcome.Ledger.VirtualTime
 		recordTelemetry()
-	}()
-
-	select {
-	case res := <-done:
-		return res.rec
-	case <-time.After(time.Duration(cfg.TimeoutSec * float64(time.Second))):
-		rec.Status = "timeout"
-		rec.Error = fmt.Sprintf("run exceeded %.0fs", cfg.TimeoutSec)
-		return rec
+		return
 	}
+	return run()
 }
 
 func relPath(base, p string) string {

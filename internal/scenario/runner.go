@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -79,6 +80,12 @@ type RunOptions struct {
 	// deliberately NOT a scenario Param: it must not perturb the params
 	// signature (or checkpoints/goldens keyed by it).
 	InjectNaNStep int
+
+	// OnRow, when non-nil, receives every observable row as it is produced
+	// (rank 0, inside the stepping world) — the streaming seam of the serve
+	// daemon. It must be fast and must not call back into the run; a slow
+	// consumer should buffer and drop rather than block the step loop.
+	OnRow func(row ObsRow)
 }
 
 func (o *RunOptions) defaults() {
@@ -120,13 +127,46 @@ func totalVolume(cells []*rbc.Cell) float64 {
 	return v
 }
 
+// CancelledError reports a run stopped by context cancellation (per-run
+// timeout, client disconnect, server drain). The run's state is consistent
+// at Step: every step up to it committed collectively, and NOTHING of the
+// cancelled segment was written (no checkpoint, no CSV rows) — the surviving
+// checkpoint is the last completed segment's. Unwrap yields the context
+// cause (context.Canceled or context.DeadlineExceeded), so errors.Is
+// classifies timeouts vs disconnects.
+type CancelledError struct {
+	Scenario string
+	Step     int
+	Cause    error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("scenario %s: run cancelled at step %d: %v", e.Scenario, e.Step, e.Cause)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
 // Execute runs a bundle to opt.Steps with checkpoint/restart, VTK output,
 // and CSV observables. Restart is bit-identical: the checkpoint carries the
 // complete mutable state (cell grids, GMRES warm start, RNG stream, ledger),
 // so a run interrupted at any checkpoint and resumed reproduces the
 // uninterrupted trajectory exactly.
 func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
+	return ExecuteContext(context.Background(), b, opt)
+}
+
+// ExecuteContext is Execute under a cancellation scope: ctx is threaded into
+// every stepping world (core.Config.Ctx), where it is checked collectively at
+// each step boundary. On cancellation the run stops at a consistent step,
+// skips the partial segment's checkpoint and CSV writes, and returns a
+// *CancelledError (wrapping ctx's cause) alongside the partial outcome. This
+// is the one cancellation path shared by campaign run timeouts and the serve
+// daemon's request timeouts/disconnects/drain.
+func ExecuteContext(ctx context.Context, b *Bundle, opt RunOptions) (*RunOutcome, error) {
 	opt.defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(b.Cells) == 0 {
 		return nil, fmt.Errorf("scenario %s: no cells to simulate (raise hct/max_cells or shrink cell_radius)", b.Scenario)
 	}
@@ -168,6 +208,12 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 				return nil, err
 			}
 		}
+	}
+
+	// Cancelled before any compute: return before the (possibly expensive)
+	// plan materialization.
+	if err := ctx.Err(); err != nil {
+		return out, &CancelledError{Scenario: b.Scenario, Step: startStep, Cause: err}
 	}
 
 	// Materialize the wall-operator plan once per run, outside the ranked
@@ -231,6 +277,13 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 	}
 
 	for start := startStep; start < opt.Steps; {
+		// Segment-boundary check: don't spin up a fresh world (and pay a
+		// whole step) when cancellation already landed between segments.
+		if err := ctx.Err(); err != nil {
+			out.Steps = start
+			out.Telemetry = opt.Telemetry.Snapshot()
+			return out, &CancelledError{Scenario: b.Scenario, Step: start, Cause: err}
+		}
 		segEnd := opt.Steps
 		if opt.CheckpointEvery > 0 && start+opt.CheckpointEvery < segEnd {
 			segEnd = start + opt.CheckpointEvery
@@ -241,6 +294,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		var cents [][][3]float64
 		var lastStats core.StepStats
 		cfg := b.Config
+		cfg.Ctx = ctx
 		cfg.WallPlan = wallPlan
 		cfg.Telemetry = opt.Telemetry
 		cfg.Health = opt.Health
@@ -282,6 +336,9 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			rows = append(rows, row)
 			cents = append(cents, all)
 			lastStats = st
+			if opt.OnRow != nil {
+				opt.OnRow(row)
+			}
 		}
 
 		traceLabel := opt.TraceLabel
@@ -291,6 +348,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 		var nextCells []*rbc.Cell
 		var nextPhi []float64
 		haltStep := start
+		cancelled := false
 		world := par.Run(opt.Ranks, opt.Machine, func(c *par.Comm) {
 			// Pin this segment's rank goroutine to a stable named timeline:
 			// every checkpoint segment spawns fresh goroutines, but in the
@@ -302,9 +360,9 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			sim.RestorePhi(c, phi)
 			for s := 0; s < seg; s++ {
 				st := sim.Step(c)
-				if st.HealthTripped {
-					// Collective verdict: every rank sees it, every rank
-					// breaks here — collectives stay aligned.
+				if st.HealthTripped || st.Cancelled {
+					// Collective verdicts: every rank sees the same flags,
+					// every rank breaks here — collectives stay aligned.
 					break
 				}
 			}
@@ -313,6 +371,7 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			if c.Rank() == 0 {
 				nextCells, nextPhi = nc, np
 				haltStep = sim.StepCount
+				cancelled = sim.LastStats.Cancelled
 			}
 		})
 		cells, phi = nextCells, nextPhi
@@ -351,6 +410,23 @@ func Execute(b *Bundle, opt RunOptions) (*RunOutcome, error) {
 			}
 			out.Telemetry = opt.Telemetry.Snapshot()
 			return out, herr
+		}
+		if cancelled {
+			// The run was cancelled mid-segment (timeout, disconnect, drain).
+			// Every completed step is consistent in-memory state, but NOTHING
+			// of this segment is written: no checkpoint (the surviving resume
+			// point is the last completed segment's), no CSV rows, no VTK.
+			// The caller gets the partial outcome and a typed error carrying
+			// the context cause.
+			out.Rows = append(out.Rows, rows...)
+			out.LastStats = lastStats
+			out.Steps = haltStep
+			out.Telemetry = opt.Telemetry.Snapshot()
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.Canceled // raced a late Done observation
+			}
+			return out, &CancelledError{Scenario: b.Scenario, Step: haltStep, Cause: cause}
 		}
 		for i := 0; i < seg; i++ {
 			rng.Uint64()

@@ -1,0 +1,581 @@
+// Package serve implements the simulation-as-a-service daemon: an HTTP/JSON
+// front end over the scenario registry with a plan-coalescing batch queue.
+//
+// Concurrent run requests whose (scenario, GeometryKey) match are coalesced
+// onto one shared geometry — and therefore one wall-operator quadrature
+// plan: the first run builds (or disk-loads) it, every later run reuses it
+// from memory. Batching is size + max-wait: a batch dispatches when it
+// reaches MaxBatch items or BatchWait after its first item, whichever comes
+// first, and each item gets its result on a private channel.
+//
+// Cancellation is real end to end. A request's context (client disconnect),
+// its per-request timeout, and a server abort all thread down to
+// core.Config.Ctx, where every rank observes the cancellation collectively
+// at the next step boundary — the stepping world actually exits; nothing is
+// abandoned to burn CPU in the background.
+//
+// Drain is graceful: new submissions are refused (503), pending batches
+// dispatch immediately, in-flight runs finish, and the request log is
+// flushed to the ResultStore.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rbcflow/internal/scenario"
+	"rbcflow/internal/telemetry"
+)
+
+// Config shapes the daemon. Zero values take the defaults noted per field.
+type Config struct {
+	// Ranks / Steps are per-run defaults, overridable per request.
+	Ranks int // default 2
+	Steps int // default 3
+
+	// MaxBatch dispatches a batch as soon as it holds this many requests
+	// (default 8); BatchWait dispatches a smaller batch this long after its
+	// first request arrived (default 25ms).
+	MaxBatch  int
+	BatchWait time.Duration
+
+	// Workers bounds how many runs may step concurrently (default 2).
+	// Queued items past the bound wait without holding any compute.
+	Workers int
+
+	// RequestTimeout is the default per-run time budget in seconds
+	// (0 = none); a request's explicit timeout_sec overrides it.
+	RequestTimeout float64
+
+	// PlanCache / PrecomputeWorkers mirror scenario.RunOptions: the
+	// content-addressed wall-plan disk cache and the plan-build pool size.
+	PlanCache         string
+	PrecomputeWorkers int
+}
+
+func (c *Config) defaults() {
+	if c.Ranks <= 0 {
+		c.Ranks = 2
+	}
+	if c.Steps <= 0 {
+		c.Steps = 3
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 25 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+}
+
+// RunRequest is the POST /v1/runs payload.
+type RunRequest struct {
+	Scenario string `json:"scenario"`
+	// Params are sweep-style key/value pairs (see scenario.SweepKeys).
+	Params map[string]float64 `json:"params,omitempty"`
+	Steps  int                `json:"steps,omitempty"`
+	Ranks  int                `json:"ranks,omitempty"`
+	// TimeoutSec caps the run's wall time; 0 inherits the server default,
+	// negative is rejected (mirroring campaign config validation).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Stream switches the response to NDJSON: one observable row object per
+	// completed step as it happens, then the final result object.
+	Stream bool `json:"stream,omitempty"`
+}
+
+func (r *RunRequest) ranksOrDefault(d int) int {
+	if r.Ranks > 0 {
+		return r.Ranks
+	}
+	return d
+}
+
+func (r *RunRequest) stepsOrDefault(d int) int {
+	if r.Steps > 0 {
+		return r.Steps
+	}
+	return d
+}
+
+func (r *RunRequest) timeoutOrDefault(d float64) float64 {
+	if r.TimeoutSec > 0 {
+		return r.TimeoutSec
+	}
+	return d
+}
+
+// RequestTiming is the flat per-request latency record: queue wait (arrival
+// to execution slot), stepping time, and end-to-end total.
+type RequestTiming struct {
+	QueueSec float64 `json:"queue_sec"`
+	RunSec   float64 `json:"run_sec"`
+	TotalSec float64 `json:"total_sec"`
+}
+
+// RunResult is one completed request: persisted in the ResultStore, served
+// by /v1/runs/{id}, and (for streaming clients) the final NDJSON object.
+type RunResult struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	// Status is "ok", "failed", "timeout", "cancelled" or "health-tripped".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Steps  int    `json:"steps"`
+	// Coalesced / BatchSize record whether the request shared its batch —
+	// and its geometry build — with others.
+	Coalesced bool `json:"coalesced"`
+	BatchSize int  `json:"batch_size"`
+	// PlanFingerprint/PlanSource record the wall plan the run consumed and
+	// how: "built", "disk", or "memory" (reused from a coalesced sibling).
+	PlanFingerprint string            `json:"plan_fingerprint,omitempty"`
+	PlanSource      string            `json:"plan_source,omitempty"`
+	Rows            []scenario.ObsRow `json:"rows,omitempty"`
+	Timing          RequestTiming     `json:"timing"`
+}
+
+// RequestRecord is one request-log line, flushed on drain.
+type RequestRecord struct {
+	ID          string        `json:"id"`
+	Scenario    string        `json:"scenario"`
+	GeometryKey string        `json:"geometry_key,omitempty"`
+	Status      string        `json:"status"`
+	Coalesced   bool          `json:"coalesced"`
+	BatchSize   int           `json:"batch_size"`
+	PlanSource  string        `json:"plan_source,omitempty"`
+	Timing      RequestTiming `json:"timing"`
+}
+
+// PlanStat aggregates plan provenance per fingerprint, the serve-side
+// counterpart of the campaign manifest's plan_stats: Builds counts "built"
+// materializations (MUST be 1 per fingerprint when coalescing works),
+// DiskLoads counts cache hits, Reuses counts in-memory shares.
+type PlanStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Runs        int    `json:"runs"`
+	Builds      int    `json:"builds"`
+	DiskLoads   int    `json:"disk_loads"`
+	Reuses      int    `json:"reuses"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Requests  int64            `json:"requests"`
+	Completed int64            `json:"completed"`
+	Batches   int64            `json:"batches"`
+	Coalesced int64            `json:"coalesced"`
+	ByStatus  map[string]int64 `json:"by_status,omitempty"`
+	PlanStats []PlanStat       `json:"plan_stats,omitempty"`
+	Draining  bool             `json:"draining"`
+}
+
+// Server is the daemon: construct with New, mount Handler on an
+// http.Server, call Drain on the way out.
+type Server struct {
+	cfg   Config
+	store ResultStore
+	reg   *telemetry.Registry
+	bt    *batcher
+
+	baseCtx   context.Context // cancelled only by Abort: kills in-flight runs
+	abort     context.CancelFunc
+	drainOnce sync.Once
+
+	mu       sync.Mutex
+	seq      int
+	batches  int64
+	draining bool
+	records  []RequestRecord
+	byStatus map[string]int64
+	plans    map[string]*PlanStat
+}
+
+// New builds a Server over the given store (NewMemStore() for ephemeral
+// use). reg may be nil; when set, serve.* metrics land in it and the debug
+// endpoints (/metrics, /trace, /debug/pprof) are mounted on the handler.
+func New(cfg Config, store ResultStore, reg *telemetry.Registry) *Server {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		reg:      reg,
+		baseCtx:  ctx,
+		abort:    cancel,
+		byStatus: map[string]int64{},
+		plans:    map[string]*PlanStat{},
+	}
+	s.bt = newBatcher(cfg, s)
+	return s
+}
+
+// Handler returns the daemon's full route set.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			s.handleList(w)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/runs/", s.handleGet)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	})
+	mux.HandleFunc("/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		// Drain in the background; the response acknowledges initiation so
+		// the client is not held for the full in-flight tail.
+		go func() { _ = s.Drain(context.Background()) }()
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if s.reg != nil {
+		telemetry.RegisterDebug(mux, s.reg)
+	}
+	return mux
+}
+
+// Draining reports whether the server has begun (or finished) draining.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully winds the daemon down: refuse new submissions, dispatch
+// every pending batch immediately, wait for in-flight runs to finish (or
+// ctx to expire), then flush the request log. Idempotent; concurrent calls
+// all block until the first completes.
+func (s *Server) Drain(ctx context.Context) error {
+	var err error
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.bt.mu.Lock()
+		s.bt.draining = true
+		s.bt.mu.Unlock()
+
+		s.bt.flushPending()
+		done := make(chan struct{})
+		go func() { s.bt.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Out of patience: cancel the in-flight runs (they stop at the
+			// next step boundary) and wait for the worlds to exit — a
+			// drained daemon never leaves a stepping goroutine behind.
+			s.abort()
+			<-done
+			err = ctx.Err()
+		}
+		s.mu.Lock()
+		recs := append([]RequestRecord(nil), s.records...)
+		s.mu.Unlock()
+		if ferr := s.store.PutRequestLog(recs); err == nil {
+			err = ferr
+		}
+	})
+	return err
+}
+
+// Abort cancels every in-flight run immediately (they still exit at a
+// collective step boundary). Primarily for tests and emergency shutdown.
+func (s *Server) Abort() { s.abort() }
+
+// handleSubmit validates, enqueues, and waits for (or streams) the result.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	it, err := s.newItem(r.Context(), &req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errDraining {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	var rows chan scenario.ObsRow
+	if req.Stream {
+		// The row channel is written from inside the stepping world (rank 0)
+		// and MUST NOT block it: generous buffer, drop-on-full. The final
+		// result always carries the complete row set regardless.
+		rows = make(chan scenario.ObsRow, 256)
+		it.onRow = func(row scenario.ObsRow) {
+			select {
+			case rows <- row:
+			default:
+				s.count("serve.stream_rows_dropped")
+			}
+		}
+	}
+
+	if err := s.bt.submit(it); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	if !req.Stream {
+		res := <-it.done
+		status := http.StatusOK
+		if res.Status != "ok" {
+			status = statusCode(res.Status)
+		}
+		writeJSON(w, status, res)
+		return
+	}
+
+	// NDJSON stream: rows as they commit, then the final result object.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case row := <-rows:
+			_ = enc.Encode(map[string]any{"type": "row", "row": row})
+			if fl != nil {
+				fl.Flush()
+			}
+		case res := <-it.done:
+			for { // drain rows that beat the result onto the channel
+				select {
+				case row := <-rows:
+					_ = enc.Encode(map[string]any{"type": "row", "row": row})
+				default:
+					_ = enc.Encode(map[string]any{"type": "result", "result": res})
+					if fl != nil {
+						fl.Flush()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// newItem validates a request into a queue item.
+func (s *Server) newItem(reqCtx context.Context, req *RunRequest) (*item, error) {
+	if s.Draining() {
+		return nil, errDraining
+	}
+	if req.Scenario == "" {
+		return nil, fmt.Errorf("serve: missing scenario name")
+	}
+	scn, err := scenario.Get(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if !scn.Steppable {
+		return nil, fmt.Errorf("serve: scenario %q is geometry-only, not steppable", req.Scenario)
+	}
+	var p scenario.Params
+	for k, v := range req.Params {
+		if err := p.Set(k, v); err != nil {
+			return nil, err
+		}
+	}
+	p.Defaults()
+	if req.TimeoutSec < 0 {
+		return nil, fmt.Errorf("serve: timeout_sec must be positive, got %g", req.TimeoutSec)
+	}
+	if req.Steps < 0 || req.Ranks < 0 {
+		return nil, fmt.Errorf("serve: steps and ranks must be non-negative")
+	}
+
+	// The run must stop when the client goes away OR the server aborts:
+	// merge both into one cancellation scope.
+	ctx, cancel := context.WithCancel(reqCtx)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("%s-%04d", req.Scenario, s.seq)
+	s.mu.Unlock()
+	s.count("serve.requests_total")
+
+	it := &item{
+		id:      id,
+		req:     *req,
+		scn:     scn,
+		p:       p,
+		key:     req.Scenario + "|" + scn.GeometryKey(p),
+		ctx:     ctx,
+		enq:     time.Now(),
+		done:    make(chan *RunResult, 1),
+		cleanup: func() { stop(); cancel() },
+	}
+	return it, nil
+}
+
+// finish records a completed item and delivers its result.
+func (s *Server) finish(it *item, res *RunResult) {
+	if err := s.store.Put(res); err != nil {
+		// Persistence failure must not eat the result; surface it inline.
+		if res.Error == "" {
+			res.Error = "store: " + err.Error()
+		}
+	}
+	s.mu.Lock()
+	s.byStatus[res.Status]++
+	if res.PlanFingerprint != "" {
+		ps, ok := s.plans[res.PlanFingerprint]
+		if !ok {
+			ps = &PlanStat{Fingerprint: res.PlanFingerprint}
+			s.plans[res.PlanFingerprint] = ps
+		}
+		ps.Runs++
+		switch res.PlanSource {
+		case "built":
+			ps.Builds++
+		case "disk":
+			ps.DiskLoads++
+		case "memory":
+			ps.Reuses++
+		}
+	}
+	s.records = append(s.records, RequestRecord{
+		ID:          it.id,
+		Scenario:    it.req.Scenario,
+		GeometryKey: strings.TrimPrefix(it.key, it.req.Scenario+"|"),
+		Status:      res.Status,
+		Coalesced:   res.Coalesced,
+		BatchSize:   res.BatchSize,
+		PlanSource:  res.PlanSource,
+		Timing:      res.Timing,
+	})
+	s.mu.Unlock()
+
+	s.count("serve.requests_" + res.Status)
+	if res.Coalesced {
+		s.count("serve.requests_coalesced")
+	}
+	if s.reg != nil {
+		s.reg.Histogram("serve.request_seconds").Observe(res.Timing.TotalSec)
+		s.reg.Histogram("serve.queue_seconds").Observe(res.Timing.QueueSec)
+	}
+	if it.cleanup != nil {
+		it.cleanup()
+	}
+	it.done <- res
+}
+
+// noteBatch records a dispatched batch (metrics).
+func (s *Server) noteBatch(size int) {
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+	s.count("serve.batches_total")
+	if s.reg != nil {
+		s.reg.Histogram("serve.batch_size").Observe(float64(size))
+	}
+}
+
+func (s *Server) count(name string) {
+	if s.reg != nil {
+		s.reg.Counter(name).Inc()
+	}
+}
+
+// StatsSnapshot returns the current aggregate view.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Requests: int64(s.seq),
+		Draining: s.draining,
+		ByStatus: map[string]int64{},
+	}
+	for k, v := range s.byStatus {
+		st.ByStatus[k] = v
+		st.Completed += v
+	}
+	for _, r := range s.records {
+		if r.Coalesced {
+			st.Coalesced++
+		}
+	}
+	st.Batches = s.batches
+	for _, ps := range s.plans {
+		st.PlanStats = append(st.PlanStats, *ps)
+	}
+	sort.Slice(st.PlanStats, func(i, j int) bool {
+		return st.PlanStats[i].Fingerprint < st.PlanStats[j].Fingerprint
+	})
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter) {
+	ids, err := s.store.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": ids})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return
+	}
+	res, err := s.store.Get(id)
+	if err != nil {
+		if IsNotFound(err) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusCode maps a terminal run status to its HTTP code for non-streaming
+// responses (streaming responses already committed 200).
+func statusCode(status string) int {
+	switch status {
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "cancelled":
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

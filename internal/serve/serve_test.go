@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rbcflow/internal/bie"
+	"rbcflow/internal/core"
+	"rbcflow/internal/rbc"
+	"rbcflow/internal/scenario"
+)
+
+// slowStepCount counts every step the serve-slow scenario executes, across
+// all runs of the test binary: the timeout tests use it to prove a
+// cancelled run REALLY stopped stepping (no post-timeout increments).
+var slowStepCount atomic.Int64
+
+func init() {
+	// serve-slow: one free-space cell whose every step sleeps, so tests can
+	// reliably exceed small timeouts. Registered once per test binary.
+	scenario.Register(&scenario.Scenario{
+		Name:        "serve-slow",
+		Description: "TESTING: free-space cell with an artificial per-step delay",
+		Steppable:   true,
+		BuildGeometry: func(p scenario.Params) (*scenario.Geom, error) {
+			return &scenario.Geom{}, nil
+		},
+		Populate: func(g *scenario.Geom, p scenario.Params) (*scenario.Bundle, error) {
+			if p.Dt == 0 {
+				p.Dt = 0.05
+			}
+			cells := []*rbc.Cell{rbc.NewBiconcaveCell(p.SphOrder, 1, [3]float64{0, 0, 0}, nil)}
+			return &scenario.Bundle{
+				Cells: cells,
+				Config: core.Config{
+					SphOrder: p.SphOrder, Mu: p.Mu, KappaB: p.KappaB, Dt: p.Dt, MinSep: 0.04,
+					Background: func(x [3]float64) [3]float64 { return [3]float64{x[2], 0, 0} },
+					FMM:        bie.FMMConfig{DirectBelow: 1 << 40},
+					FaultInject: func(int, []*rbc.Cell) {
+						slowStepCount.Add(1)
+						time.Sleep(40 * time.Millisecond)
+					},
+				},
+			}, nil
+		},
+	})
+}
+
+func postRun(t *testing.T, url string, req RunRequest) (*http.Response, *RunResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v", resp.StatusCode, err)
+	}
+	return resp, &res
+}
+
+func getStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestBatchingCoalesces exercises the batch queue itself on a cheap
+// free-space scenario: N concurrent same-key requests ride one batch.
+func TestBatchingCoalesces(t *testing.T) {
+	const n = 3
+	srv := New(Config{
+		Ranks: 1, Steps: 1,
+		MaxBatch: n, BatchWait: 5 * time.Second, // dispatch on size, not clock
+		Workers: n,
+	}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	results := make([]*RunResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = postRun(t, ts.URL, RunRequest{
+				Scenario: "shear",
+				Params:   map[string]float64{"sph_order": 3},
+				Steps:    1,
+				Ranks:    1,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Status != "ok" {
+			t.Fatalf("request %d: status %q (%s)", i, res.Status, res.Error)
+		}
+		if !res.Coalesced || res.BatchSize != n {
+			t.Errorf("request %d: want coalesced batch of %d, got coalesced=%v size=%d",
+				i, n, res.Coalesced, res.BatchSize)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.Batches != 1 || st.Coalesced != n {
+		t.Fatalf("want 1 batch with %d coalesced requests, got batches=%d coalesced=%d",
+			n, st.Batches, st.Coalesced)
+	}
+}
+
+// TestCoalescingOnePlanBuild is the headline guarantee: N concurrent
+// requests sharing one geometry key consume exactly ONE wall-plan build;
+// the other N-1 reuse it from memory. It steps a real walled scenario
+// (torus), so it is skipped in -short runs — CI's serve-smoke job asserts
+// the same invariant against the live daemon.
+func TestCoalescingOnePlanBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walled-scenario plan build is too heavy for -short; covered by the serve-smoke CI job")
+	}
+	const n = 3
+	store := NewMemStore()
+	srv := New(Config{
+		Ranks: 2, Steps: 1,
+		MaxBatch: n, BatchWait: 5 * time.Second, // dispatch on size, not clock
+		Workers: n,
+	}, store, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	results := make([]*RunResult, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, res := postRun(t, ts.URL, RunRequest{
+				Scenario: "torus",
+				Params:   map[string]float64{"sph_order": 3, "max_cells": 1},
+				Steps:    1,
+			})
+			codes[i], results[i] = resp.StatusCode, res
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if codes[i] != http.StatusOK || res.Status != "ok" {
+			t.Fatalf("request %d: HTTP %d, status %q, error %q", i, codes[i], res.Status, res.Error)
+		}
+		if !res.Coalesced || res.BatchSize != n {
+			t.Errorf("request %d: want coalesced batch of %d, got coalesced=%v size=%d",
+				i, n, res.Coalesced, res.BatchSize)
+		}
+		if res.PlanFingerprint == "" {
+			t.Errorf("request %d: no plan fingerprint recorded", i)
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if len(st.PlanStats) != 1 {
+		t.Fatalf("want 1 plan fingerprint, got %d: %+v", len(st.PlanStats), st.PlanStats)
+	}
+	ps := st.PlanStats[0]
+	if ps.Runs != n || ps.Builds != 1 || ps.Reuses != n-1 {
+		t.Fatalf("want runs=%d builds=1 reuses=%d, got %+v", n, n-1, ps)
+	}
+	if st.Batches != 1 {
+		t.Errorf("want 1 batch dispatch, got %d", st.Batches)
+	}
+
+	// The results are persisted and listable.
+	ids, err := store.List()
+	if err != nil || len(ids) != n {
+		t.Fatalf("store.List: %v, %d ids", err, len(ids))
+	}
+}
+
+// TestRequestTimeoutStopsRun proves the per-request timeout performs REAL
+// cancellation: the response arrives only after the stepping world exited,
+// and no further steps execute afterwards.
+func TestRequestTimeoutStopsRun(t *testing.T) {
+	srv := New(Config{Ranks: 1, Workers: 1, BatchWait: time.Millisecond}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, res := postRun(t, ts.URL, RunRequest{
+		Scenario:   "serve-slow",
+		Params:     map[string]float64{"sph_order": 3},
+		Steps:      200, // would take ~8s; the timeout fires long before
+		Ranks:      1,
+		TimeoutSec: 0.3,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout || res.Status != "timeout" {
+		t.Fatalf("want HTTP 504/status timeout, got %d/%q (%s)", resp.StatusCode, res.Status, res.Error)
+	}
+	if res.Steps >= 200 {
+		t.Fatalf("timed-out run claims all %d steps completed", res.Steps)
+	}
+	// The run is over, not abandoned: the step counter must be static now.
+	before := slowStepCount.Load()
+	time.Sleep(200 * time.Millisecond)
+	if after := slowStepCount.Load(); after != before {
+		t.Fatalf("zombie run: %d steps executed after the timeout response", after-before)
+	}
+}
+
+// TestClientDisconnectCancelsRun: dropping the HTTP request must stop the
+// run (status "cancelled" server-side), not leave it stepping.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	srv := New(Config{Ranks: 1, Workers: 1, BatchWait: time.Millisecond}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{
+		Scenario: "serve-slow",
+		Params:   map[string]float64{"sph_order": 3},
+		Steps:    200,
+		Ranks:    1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/runs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let a few steps run
+	cancel()                           // client walks away
+	if err := <-errc; err == nil {
+		t.Fatal("expected the client request to fail after cancel")
+	}
+
+	// The server classifies and records the cancellation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := srv.StatsSnapshot(); st.ByStatus["cancelled"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never recorded as cancelled: %+v", srv.StatsSnapshot().ByStatus)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	before := slowStepCount.Load()
+	time.Sleep(200 * time.Millisecond)
+	if after := slowStepCount.Load(); after != before {
+		t.Fatalf("zombie run: %d steps executed after disconnect", after-before)
+	}
+}
+
+// TestStreamingRows: stream=true responds with NDJSON row objects followed
+// by exactly one final result object.
+func TestStreamingRows(t *testing.T) {
+	srv := New(Config{Ranks: 1, Workers: 1, BatchWait: time.Millisecond}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{
+		Scenario: "serve-slow",
+		Params:   map[string]float64{"sph_order": 3},
+		Steps:    3,
+		Ranks:    1,
+		Stream:   true,
+	})
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("want NDJSON content type, got %q", ct)
+	}
+	var rows, finals int
+	var last struct {
+		Type   string     `json:"type"`
+		Result *RunResult `json:"result"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Type   string     `json:"type"`
+			Result *RunResult `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "row":
+			rows++
+		case "result":
+			finals++
+			last = line
+		default:
+			t.Fatalf("unknown NDJSON line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if finals != 1 || last.Result == nil || last.Result.Status != "ok" {
+		t.Fatalf("want exactly one ok result line, got %d (last %+v)", finals, last.Result)
+	}
+	if rows == 0 {
+		t.Error("no row lines streamed")
+	}
+	if len(last.Result.Rows) != 3 {
+		t.Errorf("final result should carry all 3 rows, got %d", len(last.Result.Rows))
+	}
+}
+
+// TestDrainGraceful: drain lets the in-flight run finish, refuses new
+// submissions with 503, flips /healthz, and flushes the request log.
+func TestDrainGraceful(t *testing.T) {
+	store := NewMemStore()
+	srv := New(Config{Ranks: 1, Workers: 1, BatchWait: time.Millisecond}, store, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Healthy before drain.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", hz.StatusCode, err)
+	}
+	hz.Body.Close()
+
+	type outcome struct {
+		code int
+		res  *RunResult
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		resp, res := postRun(t, ts.URL, RunRequest{
+			Scenario: "serve-slow",
+			Params:   map[string]float64{"sph_order": 3},
+			Steps:    4,
+			Ranks:    1,
+		})
+		inflight <- outcome{resp.StatusCode, res}
+	}()
+	time.Sleep(120 * time.Millisecond) // let it start stepping
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The in-flight run completed normally.
+	got := <-inflight
+	if got.code != http.StatusOK || got.res.Status != "ok" {
+		t.Fatalf("in-flight run during drain: HTTP %d status %q (%s)", got.code, got.res.Status, got.res.Error)
+	}
+
+	// New work is refused.
+	body, _ := json.Marshal(RunRequest{Scenario: "serve-slow", Steps: 1})
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: want 503, got %d", resp.StatusCode)
+	}
+	hz, err = http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: want 503, got %v %v", hz.StatusCode, err)
+	}
+	hz.Body.Close()
+
+	// The request log was flushed with the completed run.
+	log := store.RequestLog()
+	if len(log) != 1 || log[0].Status != "ok" {
+		t.Fatalf("request log after drain: %+v", log)
+	}
+}
+
+// TestValidation rejects malformed requests up front with 400s.
+func TestValidation(t *testing.T) {
+	srv := New(Config{}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  RunRequest
+		want string
+	}{
+		{"missing scenario", RunRequest{}, "missing scenario"},
+		{"unknown scenario", RunRequest{Scenario: "no-such"}, "unknown scenario"},
+		{"geometry-only", RunRequest{Scenario: "cubesphere"}, "not steppable"},
+		{"bad param", RunRequest{Scenario: "shear", Params: map[string]float64{"bogus": 1}}, "unknown sweep key"},
+		{"negative timeout", RunRequest{Scenario: "shear", TimeoutSec: -5}, "timeout_sec must be positive"},
+		{"negative steps", RunRequest{Scenario: "shear", Steps: -1}, "non-negative"},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: want 400, got %d (%s)", tc.name, resp.StatusCode, msg.String())
+		}
+		if !strings.Contains(msg.String(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, msg.String(), tc.want)
+		}
+	}
+}
+
+// TestResultEndpoints covers GET /v1/runs, GET /v1/runs/{id} and the 404.
+func TestResultEndpoints(t *testing.T) {
+	srv := New(Config{Ranks: 1, Workers: 1, BatchWait: time.Millisecond}, NewMemStore(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, res := postRun(t, ts.URL, RunRequest{
+		Scenario: "shear",
+		Params:   map[string]float64{"sph_order": 3},
+		Steps:    1,
+		Ranks:    1,
+	})
+	if res.Status != "ok" {
+		t.Fatalf("shear run: %q (%s)", res.Status, res.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stored RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&stored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stored.ID != res.ID || stored.Status != "ok" {
+		t.Fatalf("stored result mismatch: %+v", stored)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/runs/no-such-run", ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing run: want 404, got %d", resp.StatusCode)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -52,13 +53,13 @@ type ChromeWriter interface {
 	WriteChrome(w io.Writer) error
 }
 
-// NewDebugMux builds the debug endpoint set of a long-running driver (and
-// the seam a future serve daemon mounts wholesale): /metrics with the
-// registry text dump, /trace with the live execution timeline as Chrome
-// trace_event JSON when the registry carries a ChromeWriter tracer, plus the
-// standard net/http/pprof profiling handlers under /debug/pprof/.
-func NewDebugMux(r *Registry) *http.ServeMux {
-	mux := http.NewServeMux()
+// RegisterDebug mounts the debug endpoint set onto an existing mux:
+// /metrics with the registry text dump, /trace with the live execution
+// timeline as Chrome trace_event JSON when the registry carries a
+// ChromeWriter tracer, plus the standard net/http/pprof profiling handlers
+// under /debug/pprof/. The serve daemon mounts these wholesale next to its
+// own API routes.
+func RegisterDebug(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/metrics", Handler(r))
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		cw, ok := r.Tracer().(ChromeWriter)
@@ -76,19 +77,28 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewDebugMux builds a fresh mux carrying only the debug endpoint set.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r)
 	return mux
 }
 
 // ServeDebug starts the debug listener on addr in a background goroutine and
-// returns the bound address (useful with ":0") and a shutdown func. The
-// listener is best-effort observability: serve errors after Close are
-// swallowed.
-func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+// returns the bound address (useful with ":0") and a graceful shutdown func:
+// callers MUST invoke it on every exit path (drain, error exits included) so
+// the listener does not outlive the process's useful life — http.Server
+// Shutdown stops accepting, lets in-flight scrapes finish within ctx, and
+// closes the listener. Serve errors after shutdown are swallowed
+// (best-effort observability).
+func ServeDebug(addr string, r *Registry) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: NewDebugMux(r)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	return ln.Addr().String(), srv.Shutdown, nil
 }

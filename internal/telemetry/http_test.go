@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -134,7 +135,7 @@ func TestServeDebugRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer shutdown()
+	defer shutdown(context.Background())
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +148,7 @@ func TestServeDebugRoundTrip(t *testing.T) {
 	if !strings.Contains(string(body), "req.count 7") {
 		t.Fatalf("live /metrics missing counter, got:\n%s", body)
 	}
-	if err := shutdown(); err != nil {
+	if err := shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 }

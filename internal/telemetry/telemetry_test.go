@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -165,7 +166,7 @@ func TestDebugEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer closeFn()
+	defer closeFn(context.Background())
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {

@@ -18,6 +18,7 @@
 package rbcflow
 
 import (
+	"context"
 	"io"
 
 	"rbcflow/internal/bie"
@@ -403,6 +404,21 @@ func RunCampaign(cfg *CampaignConfig, outDir string, logw io.Writer) (*CampaignM
 	return scenario.RunCampaign(cfg, outDir, logw)
 }
 
+// ExecuteScenarioContext is ExecuteScenario under a cancellation scope:
+// cancelling ctx (timeout, ^C, client disconnect) stops the step loop at a
+// collective step boundary and returns a *scenario.CancelledError without
+// checkpointing the cancelled segment.
+func ExecuteScenarioContext(ctx context.Context, b *ScenarioBundle, opt RunOptions) (*RunOutcome, error) {
+	return scenario.ExecuteContext(ctx, b, opt)
+}
+
+// RunCampaignContext is RunCampaign under a cancellation scope: cancelling
+// ctx drains the campaign (in-flight runs stop through the shared
+// cancellation path and record "cancelled"; queued runs never start).
+func RunCampaignContext(ctx context.Context, cfg *CampaignConfig, outDir string, logw io.Writer) (*CampaignManifest, error) {
+	return scenario.RunCampaignContext(ctx, cfg, outDir, logw)
+}
+
 // NewTelemetryRegistry creates an empty metrics registry. Share one across
 // the subsystems of a run (operator, stepper, scenario executor) to collect
 // the full per-phase breakdown; see DESIGN.md, "Observability".
@@ -410,8 +426,9 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 
 // ServeTelemetry starts the optional debug HTTP listener (/metrics text dump
 // plus net/http/pprof) on addr, returning the bound address (useful with
-// ":0") and a shutdown func.
-func ServeTelemetry(addr string, reg *TelemetryRegistry) (string, func() error, error) {
+// ":0") and a graceful shutdown func (http.Server.Shutdown semantics) that
+// callers must invoke on every exit path so the listener never leaks.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (string, func(context.Context) error, error) {
 	return telemetry.ServeDebug(addr, reg)
 }
 
