@@ -1,0 +1,99 @@
+package rbcflow_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rbcflow/internal/network"
+	"rbcflow/internal/surrogate"
+)
+
+// BenchmarkSurrogateScale is the surrogate tier's scale proof: the coupled
+// flow/haematocrit/viscosity fixed point on symmetric binary trees from ~1k
+// to over a million segments, emitted as BENCH_surrogate.json. The small
+// depths exercise the dense LU pressure solve, the large ones the sparse
+// CSR + Jacobi-CG path; structural counts (segments, nodes, solver
+// iterations) are deterministic and gate exactly under benchdiff
+// -strict-counts, while the build/solve walls are loose timings.
+func BenchmarkSurrogateScale(b *testing.B) {
+	type caseOut struct {
+		Depth       int                `json:"depth"`
+		PhaseCounts map[string]int64   `json:"phase_counts"`
+		CGIters     int                `json:"cg_iters"` // last outer iteration's CG count; not gated
+		Sparse      bool               `json:"sparse"`
+		BuildS      float64            `json:"build_s"`
+		SolveS      float64            `json:"solve_s"`
+		Gauges      map[string]float64 `json:"gauges"`
+	}
+
+	depths := []int{9, 13, 16, 19}
+	if testing.Short() {
+		depths = []int{9, 13}
+	}
+	for i := 0; i < b.N; i++ {
+		var cases []caseOut
+		for _, depth := range depths {
+			t0 := time.Now()
+			n := network.BinaryTree(network.TreeParams{Depth: depth, RootRadius: 1, RootLen: 5})
+			n.SetFlow(0, 2)
+			for _, term := range n.Terminals() {
+				if term != 0 {
+					n.SetPressure(term, 0)
+				}
+			}
+			buildS := time.Since(t0).Seconds()
+
+			t0 = time.Now()
+			res, err := surrogate.Solve(n, surrogate.Params{InletHct: 0.3})
+			solveS := time.Since(t0).Seconds()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Converged {
+				b.Fatalf("depth %d: fixed point did not converge (residual %g)", depth, res.Residual)
+			}
+			if res.FlowImbalance > 1e-9 {
+				b.Fatalf("depth %d: flow imbalance %g", depth, res.FlowImbalance)
+			}
+			cases = append(cases, caseOut{
+				Depth: depth,
+				PhaseCounts: map[string]int64{
+					"surrogate.segments":    int64(len(n.Segs)),
+					"surrogate.nodes":       int64(len(n.Nodes)),
+					"surrogate.outer_iters": int64(res.Iters),
+				},
+				CGIters: res.CGIters,
+				Sparse:  res.Sparse,
+				BuildS:  buildS,
+				SolveS:  solveS,
+				Gauges: map[string]float64{
+					"flow_imbalance": res.FlowImbalance,
+					"rbc_imbalance":  res.RBCImbalance,
+					"residual":       res.Residual,
+				},
+			})
+		}
+
+		last := cases[len(cases)-1]
+		b.ReportMetric(float64(last.PhaseCounts["surrogate.segments"]), "segments@max")
+		b.ReportMetric(last.SolveS*1e3, "solve-ms@max")
+
+		if i == b.N-1 {
+			blob, err := json.MarshalIndent(map[string]any{
+				"benchmark": "BenchmarkSurrogateScale",
+				"note": "coupled FL-viscosity fixed point on symmetric binary trees;" +
+					" sparse CSR+CG above the dense cutoff, inlet hct 0.3",
+				// Recorded so cmd/benchdiff refuses to gate timings across
+				// differently-parallel runners.
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+				"cases":      cases,
+			}, "", "  ")
+			if err == nil {
+				_ = os.WriteFile("BENCH_surrogate.json", append(blob, '\n'), 0o644)
+			}
+		}
+	}
+}

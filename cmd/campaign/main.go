@@ -58,6 +58,10 @@ func run() int {
 	traceOut := flag.String("trace-out", "", "write the campaign-wide execution timeline as Chrome trace-event JSON to this path")
 	noHealth := flag.Bool("no-health", false, "disable the per-run numerical-health monitors")
 	injectNaN := flag.Int("inject-nan-step", 0, "TESTING: poison one cell coordinate with NaN at this step in every run")
+	tier := flag.String("tier", "", "simulation tier: bie (default), surrogate, or mixed (surrogate sweep + top-k BIE promotion)")
+	objective := flag.String("objective", "", "surrogate/mixed ranking objective: pressure-drop (default), max-velocity, or outlet-hct-cv")
+	topK := flag.Int("top-k", 0, "mixed tier: how many top-ranked points to promote through BIE (default 1)")
+	calibration := flag.String("calibration", "", "surrogate calibration artifact (see rbcflow -calibrate)")
 	flag.Parse()
 
 	cfg := &scenario.CampaignConfig{}
@@ -131,6 +135,18 @@ func run() int {
 	}
 	if *injectNaN > 0 {
 		cfg.InjectNaNStep = *injectNaN
+	}
+	if *tier != "" {
+		cfg.Tier = *tier
+	}
+	if *objective != "" {
+		cfg.Objective = *objective
+	}
+	if *topK > 0 {
+		cfg.TopK = *topK
+	}
+	if *calibration != "" {
+		cfg.CalibrationPath = *calibration
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" || *debugAddr != "" {
@@ -207,6 +223,14 @@ func run() int {
 	}
 	for _, ps := range m.PlanStats {
 		fmt.Printf("  wall plan %.12s: %d run(s), %s\n", ps.Fingerprint, ps.Runs, ps.Source)
+	}
+	if p := m.Promotion; p != nil {
+		fmt.Printf("  surrogate sweep: %d point(s) ranked by %s, %.3gms/point\n",
+			len(p.Ranking), p.Objective, 1e3*p.SurrogateSecondsPerPoint)
+		if len(p.Promoted) > 0 {
+			fmt.Printf("  promoted to BIE: %s (%.1f× surrogate cost per point)\n",
+				strings.Join(p.Promoted, ", "), p.SpeedupPerPoint)
+		}
 	}
 	if *telemetryOut != "" {
 		if err := writeCampaignTelemetry(*telemetryOut, m); err != nil {

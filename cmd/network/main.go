@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -52,7 +53,14 @@ func run() int {
 	debugAddr := flag.String("debug-addr", "", `serve /metrics, /trace and /debug/pprof on this address (e.g. "localhost:6060")`)
 	traceOut := flag.String("trace-out", "", "write the execution timeline as Chrome trace-event JSON to this path (Perfetto-viewable)")
 	noHealth := flag.Bool("no-health", false, "disable the numerical-health monitor (NaN/Inf guards, GMRES stall detection, flight recorder)")
+	tier := flag.String("tier", "", `simulation tier: "" / "bie" (full pipeline) or "surrogate" (reduced-order solve only, prints the coupled flow/haematocrit/viscosity table)`)
+	calibrate := flag.String("calibrate", "", "fit the surrogate calibration against BIE references and write <dir>/calibration.gob + calibration.json, then exit")
+	calibration := flag.String("calibration", "", "surrogate calibration artifact applied to -tier surrogate velocities")
 	flag.Parse()
+
+	if *calibrate != "" {
+		return runCalibrate(*calibrate, *hct, *gamma)
+	}
 
 	name := *scn
 	if !strings.HasPrefix(name, "network-") {
@@ -83,6 +91,15 @@ func run() int {
 		}
 		fmt.Printf("saved network (%d nodes, %d segments) to %s\n", len(net.Nodes), len(net.Segs), *save)
 		return 0
+	}
+
+	switch *tier {
+	case "", "bie":
+	case "surrogate":
+		return runSurrogate(name, params, *calibration)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tier %q (want bie or surrogate)\n", *tier)
+		return 2
 	}
 
 	b, err := rbcflow.BuildScenario(name, params)
@@ -204,5 +221,95 @@ func run() int {
 		}
 		fmt.Printf("execution timeline written to %s\n", *traceOut)
 	}
+	return 0
+}
+
+// runSurrogate solves the scenario on the reduced-order tier: the damped
+// fixed point of Kirchhoff flow, plasma-skimming haematocrit transport, and
+// the Fåhræus–Lindqvist effective viscosity — no surface build, no
+// boundary-integral solve.
+func runSurrogate(name string, params rbcflow.ScenarioParams, calPath string) int {
+	var cal *rbcflow.SurrogateCalibration
+	if calPath != "" {
+		var err error
+		if cal, err = rbcflow.LoadSurrogateCalibration(calPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	start := time.Now()
+	net, res, err := rbcflow.ScenarioSurrogate(name, params, cal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	vel := res.MeanVelocity
+	if res.CorrectedVelocity != nil {
+		vel = res.CorrectedVelocity
+	}
+	fmt.Printf("surrogate tier: %d nodes, %d segments\n", len(net.Nodes), len(net.Segs))
+	fmt.Println("  seg   A ->  B   radius   length     flow  haematocrit   mu_eff  velocity")
+	for si, s := range net.Segs {
+		fmt.Printf("  %3d %3d -> %2d %8.3f %8.3f %8.4f %12.4f %8.4f %9.4f\n",
+			si, s.A, s.B, s.Radius, net.SegmentLength(si), res.Flow.Q[si],
+			res.Hct[si], res.Mu[si], vel[si])
+	}
+	solver := "dense"
+	if res.Sparse {
+		solver = fmt.Sprintf("sparse CG (%d iters)", res.CGIters)
+	}
+	fmt.Printf("fixed point: converged=%v in %d iteration(s), residual %.2e (%s solver)\n",
+		res.Converged, res.Iters, res.Residual, solver)
+	fmt.Printf("conservation: flow imbalance %.2e, RBC-flux imbalance %.2e\n",
+		res.FlowImbalance, res.RBCImbalance)
+	if cal != nil {
+		fmt.Printf("calibration: %.12s (%d regime(s))\n", cal.Fingerprint, len(cal.Regimes))
+	}
+	fmt.Printf("solved in %s\n", elapsed.Round(time.Microsecond))
+	if !res.Converged {
+		return 1
+	}
+	return 0
+}
+
+// runCalibrate fits the surrogate correction factors against full
+// boundary-integral references on the built-in calibration suite, then
+// writes the content-addressed artifact and its JSON report into dir.
+func runCalibrate(dir string, hct, gamma float64) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("calibrating surrogate against BIE references (Y bifurcation + depth-2 tree)...")
+	start := time.Now()
+	cal, rep, err := rbcflow.CalibrateSurrogate(rbcflow.SurrogateBIEReference{}, rbcflow.SurrogateParams{
+		InletHct: hct, Gamma: gamma,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	gobPath := filepath.Join(dir, "calibration.gob")
+	jsonPath := filepath.Join(dir, "calibration.json")
+	if err := rbcflow.SaveSurrogateCalibration(gobPath, cal); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := rbcflow.WriteSurrogateReport(jsonPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("calibration %.12s fitted in %s\n", cal.Fingerprint, time.Since(start).Round(time.Millisecond))
+	for _, r := range cal.Regimes {
+		upper := "inf"
+		if r.RMax < math.MaxFloat64 {
+			upper = fmt.Sprintf("%.3g", r.RMax)
+		}
+		fmt.Printf("  radius [%.3g, %s): factor %.6f over %d sample(s), RMS %.3g -> %.3g\n",
+			r.RMin, upper, r.Factor, r.Samples, r.RMSBefore, r.RMSAfter)
+	}
+	fmt.Printf("artifact: %s\nreport:   %s\n", gobPath, jsonPath)
 	return 0
 }

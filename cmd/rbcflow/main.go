@@ -43,6 +43,8 @@ func run() int {
 	traceOut := flag.String("trace-out", "", "write the execution timeline as Chrome trace-event JSON to this path (Perfetto-viewable)")
 	noHealth := flag.Bool("no-health", false, "disable the numerical-health monitor (NaN/Inf guards, GMRES stall detection, flight recorder)")
 	injectNaN := flag.Int("inject-nan-step", 0, "TESTING: poison one cell coordinate with NaN at this step to exercise the flight recorder")
+	tier := flag.String("tier", "", `simulation tier: "" / "bie" (full pipeline) or "surrogate" (reduced-order network solve, network scenarios only)`)
+	calibration := flag.String("calibration", "", "surrogate calibration artifact applied to -tier surrogate velocities")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +52,15 @@ func run() int {
 			fmt.Println(" ", s)
 		}
 		return 0
+	}
+
+	switch *tier {
+	case "", "bie":
+	case "surrogate":
+		return runSurrogate(*name, rbcflow.ScenarioParams{Hct: *hct}, *calibration)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tier %q (want bie or surrogate)\n", *tier)
+		return 2
 	}
 
 	b, err := rbcflow.BuildScenario(*name, rbcflow.ScenarioParams{
@@ -145,6 +156,40 @@ func run() int {
 	}
 	if len(outcome.Outputs) > 0 {
 		fmt.Printf("wrote %d files under %s\n", len(outcome.Outputs), *out)
+	}
+	return 0
+}
+
+// runSurrogate answers a network scenario from the reduced-order tier: the
+// coupled flow/haematocrit/viscosity fixed point, no surface build and no
+// boundary-integral solve. cmd/network prints the full per-segment table;
+// here a run-level summary matches this driver's diagnostic style.
+func runSurrogate(name string, params rbcflow.ScenarioParams, calPath string) int {
+	var cal *rbcflow.SurrogateCalibration
+	if calPath != "" {
+		var err error
+		if cal, err = rbcflow.LoadSurrogateCalibration(calPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	start := time.Now()
+	net, res, err := rbcflow.ScenarioSurrogate(name, params, cal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s (surrogate tier): %d nodes, %d segments, solved in %s\n",
+		name, len(net.Nodes), len(net.Segs), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("fixed point: converged=%v in %d iteration(s), residual %.2e\n",
+		res.Converged, res.Iters, res.Residual)
+	fmt.Printf("conservation: flow imbalance %.2e, RBC-flux imbalance %.2e\n",
+		res.FlowImbalance, res.RBCImbalance)
+	if cal != nil {
+		fmt.Printf("calibration: %.12s (%d regime(s))\n", cal.Fingerprint, len(cal.Regimes))
+	}
+	if !res.Converged {
+		return 1
 	}
 	return 0
 }

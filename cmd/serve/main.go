@@ -47,6 +47,7 @@ func run() int {
 	planCache := flag.String("plan-cache", "", "wall-plan disk cache directory (shared across daemon restarts)")
 	precomputeWorkers := flag.Int("precompute-workers", 0, "wall-plan build workers (0 = all cores)")
 	drainGrace := flag.Duration("drain-grace", 60*time.Second, "how long drain waits for in-flight runs before aborting them")
+	calibration := flag.String("calibration", "", `surrogate calibration artifact applied to tier:"surrogate" requests`)
 	flag.Parse()
 
 	var store serve.ResultStore
@@ -68,6 +69,7 @@ func run() int {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		PlanCache:      *planCache, PrecomputeWorkers: *precomputeWorkers,
+		Calibration: *calibration,
 	}, store, reg)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -59,10 +59,20 @@ func SplitHaematocrit(n *Network, f *FlowSolution, prm HaematocritParams) []floa
 	inc := n.Incident()
 	deg := n.Degree()
 	for _, i := range order {
-		// Pool the RBC flux arriving at node i.
+		// Pool the RBC flux arriving at node i. Terminal inflow comes off
+		// the incidence list, not a TerminalInflow segment scan — this runs
+		// for every node on every fixed-point iteration, so an O(segments)
+		// lookup here would make the whole split quadratic.
 		var phi float64 // RBC flux in
-		if q := f.TerminalInflow(n, i); deg[i] == 1 && q > cut {
-			phi += q * prm.Inlet
+		if deg[i] == 1 && len(inc[i]) > 0 {
+			si := inc[i][0]
+			q := f.Q[si]
+			if n.Segs[si].B == i {
+				q = -q
+			}
+			if q > cut {
+				phi += q * prm.Inlet
+			}
 		}
 		var outSegs []int
 		var qOutPow float64
@@ -99,21 +109,17 @@ func SplitHaematocrit(n *Network, f *FlowSolution, prm HaematocritParams) []floa
 // Σ(Q·H)_in = Σ(Q·H)_out over interior nodes; ideally zero.
 func RBCFluxImbalance(n *Network, f *FlowSolution, H []float64) float64 {
 	deg := n.Degree()
+	net := make([]float64, len(n.Nodes))
+	for si, s := range n.Segs {
+		net[s.A] -= f.Q[si] * H[si]
+		net[s.B] += f.Q[si] * H[si]
+	}
 	var worst float64
 	for i := range n.Nodes {
 		if deg[i] == 1 {
 			continue
 		}
-		var net float64
-		for si, s := range n.Segs {
-			if s.A == i {
-				net -= f.Q[si] * H[si]
-			}
-			if s.B == i {
-				net += f.Q[si] * H[si]
-			}
-		}
-		worst = math.Max(worst, math.Abs(net))
+		worst = math.Max(worst, math.Abs(net[i]))
 	}
 	return worst
 }

@@ -16,6 +16,7 @@ import (
 
 	"rbcflow/internal/bie"
 	"rbcflow/internal/par"
+	"rbcflow/internal/surrogate"
 	"rbcflow/internal/telemetry"
 	"rbcflow/internal/trace"
 )
@@ -59,6 +60,23 @@ type CampaignConfig struct {
 	// step in EVERY run — the campaign-level fault-injection smoke (see
 	// RunOptions.InjectNaNStep).
 	InjectNaNStep int `json:"inject_nan_step,omitempty"`
+
+	// Tier selects the simulation tier: "" or "bie" (full boundary-integral
+	// pipeline), "surrogate" (reduced-order network solver only), or "mixed"
+	// (surrogate sweep, rank by Objective, promote the top K through BIE).
+	Tier string `json:"tier,omitempty"`
+	// Objective ranks surrogate runs in surrogate/mixed campaigns (default
+	// "pressure-drop"; see surrogate.ObjectiveNames).
+	Objective string `json:"objective,omitempty"`
+	// TopK is how many top-ranked points a mixed campaign promotes to the
+	// BIE tier (default 1).
+	TopK int `json:"top_k,omitempty"`
+	// CalibrationPath points at a surrogate calibration artifact applied to
+	// every surrogate solve; empty = uncorrected velocities.
+	CalibrationPath string `json:"calibration,omitempty"`
+	// Calibration overrides CalibrationPath with an in-memory artifact.
+	// Not part of the JSON config.
+	Calibration *surrogate.Calibration `json:"-"`
 
 	// Trace, when non-nil, is the shared execution-timeline recorder: it is
 	// attached to every run's registry, so the campaign's runs land on
@@ -119,6 +137,28 @@ func (c *CampaignConfig) Normalize() error {
 	}
 	if c.Workers < 0 {
 		return &ConfigError{Field: "workers", Reason: fmt.Sprintf("must be positive, got %d", c.Workers)}
+	}
+	if !ValidTier(c.Tier) {
+		return &ConfigError{Field: "tier",
+			Reason: fmt.Sprintf("unknown tier %q (want bie, surrogate, or mixed)", c.Tier)}
+	}
+	if c.TopK < 0 {
+		return &ConfigError{Field: "top_k", Reason: fmt.Sprintf("must be non-negative, got %d", c.TopK)}
+	}
+	if c.Tier == TierSurrogate || c.Tier == TierMixed {
+		if c.Objective == "" {
+			c.Objective = "pressure-drop"
+		}
+		if !surrogate.ValidObjective(c.Objective) {
+			return &ConfigError{Field: "objective",
+				Reason: fmt.Sprintf("unknown objective %q (known: %v)", c.Objective, surrogate.ObjectiveNames())}
+		}
+		if c.Tier == TierMixed && c.TopK == 0 {
+			c.TopK = 1
+		}
+	} else if c.Objective != "" || c.TopK != 0 || c.CalibrationPath != "" {
+		return &ConfigError{Field: "tier",
+			Reason: "objective/top_k/calibration are surrogate- and mixed-tier options"}
 	}
 	c.Defaults()
 	return nil
@@ -247,6 +287,17 @@ type RunRecord struct {
 	// per-fingerprint counts are deterministic.
 	PlanFingerprint string `json:"plan_fingerprint,omitempty"`
 
+	// Tier is the simulation tier that produced this record ("surrogate" or
+	// "bie" in tiered campaigns; empty in plain campaigns). Promoted marks a
+	// surrogate run whose point was re-run through the BIE tier; Surrogate
+	// carries the reduced-order solve summary. TierSeconds is the run's
+	// wall-clock solve time — a measurement, like telemetry_seconds, not part
+	// of the deterministic manifest core.
+	Tier        string           `json:"tier,omitempty"`
+	Promoted    bool             `json:"promoted,omitempty"`
+	Surrogate   *SurrogateRecord `json:"surrogate,omitempty"`
+	TierSeconds float64          `json:"tier_seconds,omitempty"`
+
 	// Telemetry and TelemetryGauges are the deterministic core of the run's
 	// final metrics snapshot — counter values and span counts, and gauge
 	// values — stripped of the invocation-scoped "bie.plan." prefix, so they
@@ -288,6 +339,9 @@ type Manifest struct {
 	// once cold, hits once warm) even though a resumed individual run
 	// re-counts them.
 	TelemetryTotals map[string]int64 `json:"telemetry_totals,omitempty"`
+	// Promotion records the mixed-tier ranking and promotion decision (nil
+	// in plain campaigns).
+	Promotion *Promotion `json:"promotion,omitempty"`
 }
 
 // OKCount returns how many runs finished ("ok" or "geometry-only").
@@ -369,6 +423,9 @@ func RunCampaignContext(ctx context.Context, cfg *CampaignConfig, outDir string,
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
+	}
+	if cfg.Tier == TierSurrogate || cfg.Tier == TierMixed {
+		return runTieredCampaign(ctx, cfg, specs, machine, outDir, logw)
 	}
 
 	cache := &geomCache{m: map[string]*geomEntry{}}

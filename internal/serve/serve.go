@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rbcflow/internal/scenario"
+	"rbcflow/internal/surrogate"
 	"rbcflow/internal/telemetry"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// content-addressed wall-plan disk cache and the plan-build pool size.
 	PlanCache         string
 	PrecomputeWorkers int
+
+	// Calibration is the path of a surrogate calibration artifact applied to
+	// every surrogate-tier request (empty = uncorrected velocities). Loaded
+	// lazily on the first surrogate request, once.
+	Calibration string
 }
 
 func (c *Config) defaults() {
@@ -90,6 +96,11 @@ type RunRequest struct {
 	// Stream switches the response to NDJSON: one observable row object per
 	// completed step as it happens, then the final result object.
 	Stream bool `json:"stream,omitempty"`
+	// Tier selects the simulation tier: "" or "bie" runs the full pipeline
+	// through the plan-coalescing batch queue; "surrogate" answers from the
+	// reduced-order network solver on a fast path that never touches the
+	// batcher (sub-millisecond, no geometry, no wall plan).
+	Tier string `json:"tier,omitempty"`
 }
 
 func (r *RunRequest) ranksOrDefault(d int) int {
@@ -140,6 +151,30 @@ type RunResult struct {
 	PlanSource      string            `json:"plan_source,omitempty"`
 	Rows            []scenario.ObsRow `json:"rows,omitempty"`
 	Timing          RequestTiming     `json:"timing"`
+	// Tier is the simulation tier that produced the result ("bie" or
+	// "surrogate"); Surrogate carries the reduced-order solve summary on the
+	// fast path.
+	Tier      string            `json:"tier"`
+	Surrogate *SurrogateSummary `json:"surrogate,omitempty"`
+}
+
+// SurrogateSummary is the reduced-order tier's result payload: convergence,
+// conservation, and the headline flow quantities of the solved network.
+type SurrogateSummary struct {
+	Segments  int     `json:"segments"`
+	Iters     int     `json:"iters"`
+	Converged bool    `json:"converged"`
+	Residual  float64 `json:"residual"`
+	// FlowImbalance / RBCImbalance are the worst mass and RBC-flux
+	// conservation violations at the converged point.
+	FlowImbalance float64 `json:"flow_imbalance"`
+	RBCImbalance  float64 `json:"rbc_imbalance"`
+	// PressureDrop is max − min nodal pressure; MaxVelocity the worst
+	// per-segment |mean velocity| (calibration-corrected when the server has
+	// an artifact).
+	PressureDrop float64 `json:"pressure_drop"`
+	MaxVelocity  float64 `json:"max_velocity"`
+	Calibrated   bool    `json:"calibrated,omitempty"`
 }
 
 // RequestRecord is one request-log line, flushed on drain.
@@ -148,6 +183,7 @@ type RequestRecord struct {
 	Scenario    string        `json:"scenario"`
 	GeometryKey string        `json:"geometry_key,omitempty"`
 	Status      string        `json:"status"`
+	Tier        string        `json:"tier,omitempty"`
 	Coalesced   bool          `json:"coalesced"`
 	BatchSize   int           `json:"batch_size"`
 	PlanSource  string        `json:"plan_source,omitempty"`
@@ -166,6 +202,13 @@ type PlanStat struct {
 	Reuses      int    `json:"reuses"`
 }
 
+// TierStats is the per-tier slice of the request ledger.
+type TierStats struct {
+	Requests  int64            `json:"requests"`
+	Completed int64            `json:"completed"`
+	ByStatus  map[string]int64 `json:"by_status,omitempty"`
+}
+
 // Stats is the /v1/stats payload.
 type Stats struct {
 	Requests  int64            `json:"requests"`
@@ -173,8 +216,11 @@ type Stats struct {
 	Batches   int64            `json:"batches"`
 	Coalesced int64            `json:"coalesced"`
 	ByStatus  map[string]int64 `json:"by_status,omitempty"`
-	PlanStats []PlanStat       `json:"plan_stats,omitempty"`
-	Draining  bool             `json:"draining"`
+	// Tiers splits the ledger per simulation tier; surrogate requests never
+	// contribute to Batches, Coalesced, or PlanStats.
+	Tiers     map[string]*TierStats `json:"tiers,omitempty"`
+	PlanStats []PlanStat            `json:"plan_stats,omitempty"`
+	Draining  bool                  `json:"draining"`
 }
 
 // Server is the daemon: construct with New, mount Handler on an
@@ -189,12 +235,17 @@ type Server struct {
 	abort     context.CancelFunc
 	drainOnce sync.Once
 
+	calOnce sync.Once
+	cal     *surrogate.Calibration
+	calErr  error
+
 	mu       sync.Mutex
 	seq      int
 	batches  int64
 	draining bool
 	records  []RequestRecord
 	byStatus map[string]int64
+	byTier   map[string]*TierStats
 	plans    map[string]*PlanStat
 }
 
@@ -211,6 +262,7 @@ func New(cfg Config, store ResultStore, reg *telemetry.Registry) *Server {
 		baseCtx:  ctx,
 		abort:    cancel,
 		byStatus: map[string]int64{},
+		byTier:   map[string]*TierStats{},
 		plans:    map[string]*PlanStat{},
 	}
 	s.bt = newBatcher(cfg, s)
@@ -312,6 +364,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	switch req.Tier {
+	case "", scenario.TierBIE:
+	case scenario.TierSurrogate:
+		s.handleSurrogate(w, &req)
+		return
+	default:
+		http.Error(w, fmt.Sprintf("serve: unknown tier %q (want bie or surrogate)", req.Tier), http.StatusBadRequest)
+		return
+	}
 	it, err := s.newItem(r.Context(), &req)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -381,6 +442,134 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// calibration lazily loads the configured surrogate calibration artifact.
+func (s *Server) calibration() (*surrogate.Calibration, error) {
+	s.calOnce.Do(func() {
+		if s.cfg.Calibration != "" {
+			s.cal, s.calErr = surrogate.LoadCalibration(s.cfg.Calibration)
+		}
+	})
+	return s.cal, s.calErr
+}
+
+// tierStat returns the per-tier ledger slice; s.mu must be held.
+func (s *Server) tierStat(tier string) *TierStats {
+	ts, ok := s.byTier[tier]
+	if !ok {
+		ts = &TierStats{ByStatus: map[string]int64{}}
+		s.byTier[tier] = ts
+	}
+	return ts
+}
+
+// handleSurrogate answers a reduced-order tier request synchronously on the
+// calling goroutine: no queue item, no batch, no geometry, no wall plan —
+// the solve is a few damped Poiseuille/Kirchhoff iterations, microseconds to
+// low milliseconds on the builtin networks. The request still gets a run ID,
+// a ResultStore entry, a request-log line, and a per-tier ledger slot, so
+// the operational surface is uniform across tiers.
+func (s *Server) handleSurrogate(w http.ResponseWriter, req *RunRequest) {
+	if s.Draining() {
+		http.Error(w, errDraining.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if req.Stream {
+		http.Error(w, "serve: streaming is a bie-tier feature (surrogate results are a single object)", http.StatusBadRequest)
+		return
+	}
+	if req.Scenario == "" {
+		http.Error(w, "serve: missing scenario name", http.StatusBadRequest)
+		return
+	}
+	scn, err := scenario.Get(req.Scenario)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var p scenario.Params
+	for k, v := range req.Params {
+		if err := p.Set(k, v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	p.Defaults()
+	cal, err := s.calibration()
+	if err != nil {
+		http.Error(w, "serve: calibration: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("%s-%04d", req.Scenario, s.seq)
+	s.tierStat(scenario.TierSurrogate).Requests++
+	s.mu.Unlock()
+	s.count("serve.requests_total")
+	s.count("serve.requests_surrogate_tier")
+
+	start := time.Now()
+	res := &RunResult{ID: id, Scenario: req.Scenario, Tier: scenario.TierSurrogate}
+	net, sres, err := scenario.RunSurrogate(req.Scenario, p, cal)
+	elapsed := time.Since(start).Seconds()
+	res.Timing = RequestTiming{RunSec: elapsed, TotalSec: elapsed}
+	if err != nil {
+		res.Status, res.Error = "failed", err.Error()
+	} else {
+		sum := &SurrogateSummary{
+			Segments:      len(net.Segs),
+			Iters:         sres.Iters,
+			Converged:     sres.Converged,
+			Residual:      sres.Residual,
+			FlowImbalance: sres.FlowImbalance,
+			RBCImbalance:  sres.RBCImbalance,
+			Calibrated:    cal != nil,
+		}
+		sum.PressureDrop, _ = surrogate.EvalObjective("pressure-drop", net, sres)
+		sum.MaxVelocity, _ = surrogate.EvalObjective("max-velocity", net, sres)
+		res.Surrogate = sum
+		if sres.Converged {
+			res.Status = "ok"
+		} else {
+			res.Status = "failed"
+			res.Error = fmt.Sprintf("surrogate fixed point did not converge (residual %g after %d iters)", sres.Residual, sres.Iters)
+		}
+	}
+
+	if err := s.store.Put(res); err != nil && res.Error == "" {
+		res.Error = "store: " + err.Error()
+	}
+	s.mu.Lock()
+	s.byStatus[res.Status]++
+	ts := s.tierStat(scenario.TierSurrogate)
+	ts.Completed++
+	ts.ByStatus[res.Status]++
+	s.records = append(s.records, RequestRecord{
+		ID:       id,
+		Scenario: req.Scenario,
+		GeometryKey: func() string {
+			if scn.GeometryKey != nil {
+				return scn.GeometryKey(p)
+			}
+			return ""
+		}(),
+		Status: res.Status,
+		Tier:   scenario.TierSurrogate,
+		Timing: res.Timing,
+	})
+	s.mu.Unlock()
+	s.count("serve.requests_" + res.Status)
+	if s.reg != nil {
+		s.reg.Histogram("serve.request_seconds").Observe(res.Timing.TotalSec)
+	}
+
+	code := http.StatusOK
+	if res.Status != "ok" {
+		code = statusCode(res.Status)
+	}
+	writeJSON(w, code, res)
+}
+
 // newItem validates a request into a queue item.
 func (s *Server) newItem(reqCtx context.Context, req *RunRequest) (*item, error) {
 	if s.Draining() {
@@ -418,6 +607,7 @@ func (s *Server) newItem(reqCtx context.Context, req *RunRequest) (*item, error)
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("%s-%04d", req.Scenario, s.seq)
+	s.tierStat(scenario.TierBIE).Requests++
 	s.mu.Unlock()
 	s.count("serve.requests_total")
 
@@ -437,6 +627,9 @@ func (s *Server) newItem(reqCtx context.Context, req *RunRequest) (*item, error)
 
 // finish records a completed item and delivers its result.
 func (s *Server) finish(it *item, res *RunResult) {
+	if res.Tier == "" {
+		res.Tier = scenario.TierBIE
+	}
 	if err := s.store.Put(res); err != nil {
 		// Persistence failure must not eat the result; surface it inline.
 		if res.Error == "" {
@@ -445,6 +638,9 @@ func (s *Server) finish(it *item, res *RunResult) {
 	}
 	s.mu.Lock()
 	s.byStatus[res.Status]++
+	ts := s.tierStat(scenario.TierBIE)
+	ts.Completed++
+	ts.ByStatus[res.Status]++
 	if res.PlanFingerprint != "" {
 		ps, ok := s.plans[res.PlanFingerprint]
 		if !ok {
@@ -466,6 +662,7 @@ func (s *Server) finish(it *item, res *RunResult) {
 		Scenario:    it.req.Scenario,
 		GeometryKey: strings.TrimPrefix(it.key, it.req.Scenario+"|"),
 		Status:      res.Status,
+		Tier:        res.Tier,
 		Coalesced:   res.Coalesced,
 		BatchSize:   res.BatchSize,
 		PlanSource:  res.PlanSource,
@@ -516,6 +713,16 @@ func (s *Server) StatsSnapshot() Stats {
 	for k, v := range s.byStatus {
 		st.ByStatus[k] = v
 		st.Completed += v
+	}
+	for tier, ts := range s.byTier {
+		if st.Tiers == nil {
+			st.Tiers = map[string]*TierStats{}
+		}
+		cp := &TierStats{Requests: ts.Requests, Completed: ts.Completed, ByStatus: map[string]int64{}}
+		for k, v := range ts.ByStatus {
+			cp.ByStatus[k] = v
+		}
+		st.Tiers[tier] = cp
 	}
 	for _, r := range s.records {
 		if r.Coalesced {

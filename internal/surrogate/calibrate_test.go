@@ -1,0 +1,196 @@
+package surrogate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fakeReference scales the surrogate prediction by a radius-dependent factor,
+// so the fitted calibration must recover those factors exactly (the LS fit of
+// y = f·x against samples generated as y = f·x is f).
+func fakeReference(c Case, res *Result) ([]Sample, error) {
+	var samples []Sample
+	for si, s := range c.Net.Segs {
+		vmax := 2 * res.Flow.Q[si] / (math.Pi * s.Radius * s.Radius)
+		factor := 0.8
+		if s.Radius > 0.8 {
+			factor = 0.9
+		}
+		samples = append(samples, Sample{Radius: s.Radius, Predicted: vmax, Measured: factor * vmax})
+	}
+	return samples, nil
+}
+
+func TestCalibrateRecoversFactors(t *testing.T) {
+	cases := []Case{
+		{Name: "y", Net: testY(), Params: Params{InletHct: 0.3}},
+		{Name: "tree", Net: testTree(2), Params: Params{InletHct: 0.3}},
+	}
+	cal, rep, err := Calibrate(cases, fakeReference, CalibrateConfig{
+		Edges: []float64{0.8},
+		RefID: "fake",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Regimes) != 2 {
+		t.Fatalf("want 2 regimes, got %d", len(cal.Regimes))
+	}
+	if f := cal.FactorFor(0.5); math.Abs(f-0.8) > 1e-12 {
+		t.Fatalf("child-regime factor %g, want 0.8", f)
+	}
+	if f := cal.FactorFor(1.0); math.Abs(f-0.9) > 1e-12 {
+		t.Fatalf("parent-regime factor %g, want 0.9", f)
+	}
+	// The fake reference is exactly linear per regime, so the corrected RMS
+	// must vanish while the uncorrected one reflects the 10–20% bias.
+	for _, rg := range cal.Regimes {
+		if rg.Samples == 0 {
+			continue
+		}
+		if rg.RMSAfter > 1e-12 {
+			t.Fatalf("regime (%g,%g]: corrected RMS %g should vanish", rg.RMin, rg.RMax, rg.RMSAfter)
+		}
+		if rg.RMSBefore < 0.05 {
+			t.Fatalf("regime (%g,%g]: uncorrected RMS %g suspiciously small", rg.RMin, rg.RMax, rg.RMSBefore)
+		}
+	}
+	if cal.Fingerprint == "" || rep.Fingerprint != cal.Fingerprint {
+		t.Fatalf("fingerprint mismatch: artifact %q report %q", cal.Fingerprint, rep.Fingerprint)
+	}
+	for _, cr := range rep.Cases {
+		if cr.Samples == 0 || cr.RMSAfter > 1e-12 {
+			t.Fatalf("case %s: samples=%d rms_after=%g", cr.Name, cr.Samples, cr.RMSAfter)
+		}
+	}
+}
+
+func TestCalibrationFingerprintSensitivity(t *testing.T) {
+	mk := func(hct float64, refID string) string {
+		cases := []Case{{Name: "y", Net: testY(), Params: Params{InletHct: hct}}}
+		cal, _, err := Calibrate(cases, fakeReference, CalibrateConfig{Edges: []float64{0.8}, RefID: refID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cal.Fingerprint
+	}
+	base := mk(0.3, "fake")
+	if mk(0.3, "fake") != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if mk(0.35, "fake") == base {
+		t.Fatal("fingerprint ignores solver parameters")
+	}
+	if mk(0.3, "other-ref") == base {
+		t.Fatal("fingerprint ignores reference identity")
+	}
+}
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	cases := []Case{{Name: "y", Net: testY(), Params: Params{InletHct: 0.3}}}
+	cal, rep, err := Calibrate(cases, fakeReference, CalibrateConfig{Edges: []float64{0.8}, RefID: "fake"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cal.gob")
+	if err := SaveCalibration(path, cal); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cal) {
+		t.Fatalf("round trip mutated the artifact:\n got %+v\nwant %+v", got, cal)
+	}
+	// Bit-identical re-encode: saving the loaded artifact must reproduce the
+	// original bytes exactly.
+	path2 := filepath.Join(dir, "cal2.gob")
+	if err := SaveCalibration(path2, got); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-encoded artifact differs from the original bytes")
+	}
+	// The JSON report must marshal (the open bin uses MaxFloat64, not +Inf)
+	// and parse back.
+	rpath := filepath.Join(dir, "report.json")
+	if err := WriteReport(rpath, rep); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Report
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if parsed.Fingerprint != cal.Fingerprint {
+		t.Fatal("report fingerprint drifted through JSON")
+	}
+}
+
+func TestLoadCalibrationVersionCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stale.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := &Calibration{Version: CalibrationVersion + 1, Fingerprint: "x"}
+	if err := gob.NewEncoder(f).Encode(stale); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadCalibration(path); err == nil {
+		t.Fatal("stale-version artifact accepted")
+	}
+	if err := SaveCalibration(filepath.Join(dir, "nofp.gob"), &Calibration{Version: CalibrationVersion}); err == nil {
+		t.Fatal("fingerprint-less artifact saved")
+	}
+}
+
+func TestCorrectedVelocityAppliesFactors(t *testing.T) {
+	cal := &Calibration{
+		Version:     CalibrationVersion,
+		Fingerprint: "test",
+		Law:         "pries-invitro",
+		Regimes: []Regime{
+			{RMin: 0, RMax: 0.8, Factor: 0.5, Samples: 1},
+			{RMin: 0.8, RMax: math.MaxFloat64, Factor: 2, Samples: 1},
+		},
+	}
+	res, err := Solve(testY(), Params{InletHct: 0.3, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorrectedVelocity == nil {
+		t.Fatal("no corrected velocities despite a calibration")
+	}
+	n := testY()
+	for si, s := range n.Segs {
+		want := cal.FactorFor(s.Radius) * res.MeanVelocity[si]
+		if res.CorrectedVelocity[si] != want {
+			t.Fatalf("segment %d: corrected %g, want %g", si, res.CorrectedVelocity[si], want)
+		}
+	}
+	if f := cal.FactorFor(0.8); f != 0.5 {
+		t.Fatalf("bin edge must belong to the lower regime, got factor %g", f)
+	}
+}

@@ -1,0 +1,289 @@
+package surrogate
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rbcflow/internal/network"
+)
+
+func testY() *network.Network {
+	n := network.YBifurcation(network.YParams{
+		ParentRadius: 1, ChildRadius: 0.75, ParentLen: 5, ChildLen: 4, HalfAngle: math.Pi / 5,
+	})
+	n.SetFlow(0, 2)
+	n.SetPressure(2, 0)
+	n.SetPressure(3, 0)
+	return n
+}
+
+func testTree(depth int) *network.Network {
+	n := network.BinaryTree(network.TreeParams{Depth: depth, RootRadius: 1, RootLen: 5})
+	n.SetFlow(0, 2)
+	for _, term := range n.Terminals() {
+		if term != 0 {
+			n.SetPressure(term, 0)
+		}
+	}
+	return n
+}
+
+func testHoneycomb() *network.Network {
+	n, in, out := network.Honeycomb(network.HoneycombParams{Rows: 2, Cols: 3, Radius: 0.8, Edge: 4})
+	n.SetFlow(in, 2)
+	n.SetPressure(out, 0)
+	return n
+}
+
+func TestMuEffProperties(t *testing.T) {
+	rh := Rheology{MuPlasma: 1.3, MicronsPerUnit: 10}
+	if got := rh.MuEff(1, 0); got != 1.3 {
+		t.Fatalf("plasma-only viscosity: got %g, want MuPlasma 1.3", got)
+	}
+	// Monotone in haematocrit at several radii.
+	for _, r := range []float64{0.2, 0.5, 1, 2, 5} {
+		prev := rh.MuEff(r, 0)
+		for h := 0.05; h <= 0.6; h += 0.05 {
+			mu := rh.MuEff(r, h)
+			if mu <= prev {
+				t.Fatalf("MuEff not monotone in Hct at r=%g: mu(%g)=%g <= %g", r, h, mu, prev)
+			}
+			prev = mu
+		}
+	}
+	// The classic FL minimum: a 20 µm tube (r=1 at 10 µm/unit) is less
+	// viscous than a wide 200 µm tube at equal haematocrit.
+	if narrow, wide := rh.MuEff(1, 0.45), rh.MuEff(10, 0.45); narrow >= wide {
+		t.Fatalf("Fåhræus–Lindqvist effect missing: mu(20µm)=%g >= mu(200µm)=%g", narrow, wide)
+	}
+	// At the 45%-discharge reference, the relative viscosity must equal
+	// mu45 by construction.
+	d := 2 * 1 * 10.0
+	mu45 := 6*math.Exp(-0.085*d) + 3.2 - 2.44*math.Exp(-0.06*math.Pow(d, 0.645))
+	if got := rh.MuEff(1, 0.45) / 1.3; math.Abs(got-mu45) > 1e-12 {
+		t.Fatalf("MuEff(r=1, 0.45)/MuPlasma = %g, want mu45 = %g", got, mu45)
+	}
+}
+
+func TestTypedViscosityError(t *testing.T) {
+	n := testY()
+	for _, mu := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		_, err := network.SolveFlow(n, mu)
+		var verr *network.ViscosityError
+		if !errors.As(err, &verr) {
+			t.Fatalf("SolveFlow(mu=%g): got %v, want *ViscosityError", mu, err)
+		}
+		if verr.Seg != -1 {
+			t.Fatalf("scalar viscosity error should carry Seg=-1, got %d", verr.Seg)
+		}
+	}
+	bad := []float64{1, math.NaN(), 1}
+	if _, err := network.SolveFlowVisc(n, bad); err == nil {
+		t.Fatal("SolveFlowVisc accepted a NaN segment viscosity")
+	} else {
+		var verr *network.ViscosityError
+		if !errors.As(err, &verr) || verr.Seg != 1 {
+			t.Fatalf("per-segment viscosity error: got %v", err)
+		}
+	}
+	if _, err := network.SolveFlowVisc(n, []float64{1}); err == nil {
+		t.Fatal("SolveFlowVisc accepted a mis-sized viscosity field")
+	}
+}
+
+func TestSolveFlowShimMatchesVisc(t *testing.T) {
+	n := testTree(3)
+	a, err := network.SolveFlow(n, 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visc := make([]float64, len(n.Segs))
+	for i := range visc {
+		visc[i] = 1.7
+	}
+	b, err := network.SolveFlowVisc(n, visc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatalf("node %d: shim pressure %g != visc pressure %g", i, a.P[i], b.P[i])
+		}
+	}
+	for s := range a.Q {
+		if a.Q[s] != b.Q[s] {
+			t.Fatalf("segment %d: shim flow %g != visc flow %g", s, a.Q[s], b.Q[s])
+		}
+	}
+}
+
+// TestFixedPointConvergence is the tentpole acceptance test: the damped
+// haematocrit⇄viscosity fixed point converges on every builder, and mass
+// and RBC-flux conservation hold at the converged point to ≤1e-12.
+func TestFixedPointConvergence(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *network.Network
+	}{
+		{"y", testY()},
+		{"tree-d4", testTree(4)},
+		{"honeycomb", testHoneycomb()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Solve(tc.net, Params{InletHct: 0.3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("fixed point did not converge: residual %g after %d iters", res.Residual, res.Iters)
+			}
+			if res.Residual > 1e-10 {
+				t.Fatalf("converged residual %g exceeds tolerance", res.Residual)
+			}
+			if res.FlowImbalance > 1e-12 {
+				t.Fatalf("mass conservation %g exceeds 1e-12", res.FlowImbalance)
+			}
+			if res.RBCImbalance > 1e-12 {
+				t.Fatalf("RBC-flux conservation %g exceeds 1e-12", res.RBCImbalance)
+			}
+			// The effective viscosity must respond to the haematocrit field:
+			// every perfused segment sits strictly above plasma, and a
+			// segment's viscosity never exceeds the packed-cell clamp.
+			for si, h := range res.Hct {
+				if h > 0 && res.Mu[si] <= 1 {
+					t.Fatalf("segment %d carries Hct %g but viscosity %g <= plasma", si, h, res.Mu[si])
+				}
+			}
+			t.Logf("%s: %d iters, residual %.2e, mass %.2e, rbc %.2e",
+				tc.name, res.Iters, res.Residual, res.FlowImbalance, res.RBCImbalance)
+		})
+	}
+}
+
+func TestConstantMuMatchesPlainSolve(t *testing.T) {
+	n := testY()
+	res, err := Solve(n, Params{InletHct: 0.3, ConstantMu: true, Rheology: Rheology{MuPlasma: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := network.SolveFlow(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 1 || !res.Converged {
+		t.Fatalf("constant-mu solve should converge in one iteration, got %d", res.Iters)
+	}
+	for s := range want.Q {
+		if res.Flow.Q[s] != want.Q[s] {
+			t.Fatalf("segment %d: constant-mu tier flow %g != SolveFlow %g", s, res.Flow.Q[s], want.Q[s])
+		}
+	}
+}
+
+// TestSparseMatchesDense pins the CSR+CG path against the dense LU path on
+// a tree big enough to be interesting but small enough to LU.
+func TestSparseMatchesDense(t *testing.T) {
+	n := testTree(7)
+	dense, err := Solve(n, Params{InletHct: 0.3, SparseAbove: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Solve(n, Params{InletHct: 0.3, SparseAbove: 1, CGTol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Sparse || dense.Sparse {
+		t.Fatalf("path selection wrong: dense.Sparse=%v sparse.Sparse=%v", dense.Sparse, sparse.Sparse)
+	}
+	if sparse.CGIters == 0 {
+		t.Fatal("sparse path reported zero CG iterations")
+	}
+	var pScale float64
+	for _, p := range dense.Flow.P {
+		pScale = math.Max(pScale, math.Abs(p))
+	}
+	for i := range dense.Flow.P {
+		if d := math.Abs(dense.Flow.P[i] - sparse.Flow.P[i]); d > 1e-9*pScale {
+			t.Fatalf("node %d pressure: dense %g vs sparse %g", i, dense.Flow.P[i], sparse.Flow.P[i])
+		}
+	}
+	if sparse.FlowImbalance > 1e-12 {
+		t.Fatalf("sparse-path mass conservation %g exceeds 1e-12", sparse.FlowImbalance)
+	}
+	t.Logf("sparse: %d CG iters total, mass %.2e", sparse.CGIters, sparse.FlowImbalance)
+}
+
+// TestSparseFlowPressureBCOnly exercises the pure-Dirichlet branch (no flow
+// BC, no pinning) of the sparse assembly.
+func TestSparseFlowPressureBCOnly(t *testing.T) {
+	n := testY()
+	n.Nodes[0].BC = network.BC{Kind: network.BCPressure, Value: 5}
+	mu := make([]float64, len(n.Segs))
+	for i := range mu {
+		mu[i] = 1
+	}
+	f, iters, err := sparseFlow(n, mu, 1e-13, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("expected CG iterations")
+	}
+	want, err := network.SolveFlowVisc(n, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want.Q {
+		if d := math.Abs(f.Q[s] - want.Q[s]); d > 1e-9*(1+math.Abs(want.Q[s])) {
+			t.Fatalf("segment %d: sparse %g vs dense %g", s, f.Q[s], want.Q[s])
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	n := testY()
+	res, err := Solve(n, Params{InletHct: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := EvalObjective("pressure-drop", n, res)
+	if err != nil || drop <= 0 {
+		t.Fatalf("pressure-drop objective: %g, %v", drop, err)
+	}
+	vmax, err := EvalObjective("max-velocity", n, res)
+	if err != nil || vmax <= 0 {
+		t.Fatalf("max-velocity objective: %g, %v", vmax, err)
+	}
+	// The symmetric Y splits haematocrit evenly: outlet CV must be ~0.
+	cv, err := EvalObjective("outlet-hct-cv", n, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv > 1e-12 {
+		t.Fatalf("symmetric Y outlet haematocrit CV should vanish, got %g", cv)
+	}
+	if _, err := EvalObjective("nope", n, res); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	for _, name := range ObjectiveNames() {
+		if !ValidObjective(name) {
+			t.Fatalf("ObjectiveNames entry %q not valid", name)
+		}
+	}
+	if ValidObjective("nope") {
+		t.Fatal("ValidObjective accepted garbage")
+	}
+}
+
+func TestChordLength(t *testing.T) {
+	n := testY()
+	for si := range n.Segs {
+		chord := chordLength(n, si)
+		arc := n.SegmentLength(si)
+		if math.Abs(chord-arc) > 1e-9*arc {
+			t.Fatalf("segment %d: chord %g vs arc %g (straight segments must agree)", si, chord, arc)
+		}
+	}
+}

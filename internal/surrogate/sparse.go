@@ -1,0 +1,218 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"rbcflow/internal/network"
+)
+
+// chordLength is the control-polygon length of segment si: exact for the
+// straight segments every builder emits, an upper bound for bent ones. The
+// sparse path uses it instead of Network.SegmentLength, whose 256-sample
+// arc-length quadrature costs ~3 orders of magnitude more per segment —
+// prohibitive at a million segments.
+func chordLength(n *network.Network, si int) float64 {
+	s := n.Segs[si]
+	prev := n.Nodes[s.A].Pos
+	var L float64
+	step := func(p [3]float64) {
+		dx, dy, dz := p[0]-prev[0], p[1]-prev[1], p[2]-prev[2]
+		L += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		prev = p
+	}
+	for _, p := range s.Ctrl {
+		step(p)
+	}
+	step(n.Nodes[s.B].Pos)
+	return L
+}
+
+// sparseFlow solves the same Poiseuille/Kirchhoff system as
+// network.SolveFlowVisc through a sparse CSR assembly and a
+// Jacobi-preconditioned conjugate-gradient solve. Pressure-BC nodes (and
+// the pinning node of a flow-only network) are eliminated from the system,
+// so the reduced operator is symmetric positive definite and CG applies.
+// All reductions are serial, so the iteration count and the solution are
+// deterministic for fixed inputs.
+func sparseFlow(n *network.Network, mu []float64, tol float64, maxIter int) (*network.FlowSolution, int, error) {
+	if err := n.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(mu) != len(n.Segs) {
+		return nil, 0, fmt.Errorf("surrogate: viscosity field has %d entries, want %d segments", len(mu), len(n.Segs))
+	}
+	nn := len(n.Nodes)
+	cond := make([]float64, len(n.Segs))
+	for si, s := range n.Segs {
+		if !(mu[si] > 0) || math.IsInf(mu[si], 1) {
+			return nil, 0, &network.ViscosityError{Seg: si, Mu: mu[si]}
+		}
+		L := chordLength(n, si)
+		if L <= 0 {
+			return nil, 0, fmt.Errorf("surrogate: segment %d has zero length", si)
+		}
+		r := s.Radius
+		cond[si] = math.Pi * r * r * r * r / (8 * mu[si] * L)
+	}
+
+	havePressure := false
+	var flowSum float64
+	for _, nd := range n.Nodes {
+		switch nd.BC.Kind {
+		case network.BCPressure:
+			havePressure = true
+		case network.BCFlow:
+			flowSum += nd.BC.Value
+		}
+	}
+	if !havePressure && math.Abs(flowSum) > 1e-9*(1+math.Abs(flowSum)) {
+		return nil, 0, fmt.Errorf("surrogate: flow-only boundary conditions must sum to zero, got %g", flowSum)
+	}
+
+	// Known nodes carry a fixed pressure and drop out of the unknown set.
+	p := make([]float64, nn)
+	unk := make([]int32, nn) // unknown index, or -1 for known nodes
+	var nu int32
+	for i, nd := range n.Nodes {
+		if nd.BC.Kind == network.BCPressure {
+			unk[i] = -1
+			p[i] = nd.BC.Value
+			continue
+		}
+		if !havePressure && i == 0 {
+			unk[i] = -1 // pinning node, p = 0
+			continue
+		}
+		unk[i] = nu
+		nu++
+	}
+
+	// CSR assembly over unknown rows: diag + one entry per unknown
+	// neighbour; known neighbours fold into the right-hand side.
+	rowLen := make([]int32, nu+1)
+	for _, s := range n.Segs {
+		if unk[s.A] >= 0 && unk[s.B] >= 0 {
+			rowLen[unk[s.A]+1]++
+			rowLen[unk[s.B]+1]++
+		}
+	}
+	for i := int32(0); i < nu; i++ {
+		rowLen[i+1] += rowLen[i] + 1 // +1 for the diagonal
+	}
+	rowPtr := rowLen
+	col := make([]int32, rowPtr[nu])
+	val := make([]float64, rowPtr[nu])
+	diag := make([]float64, nu)
+	b := make([]float64, nu)
+	next := make([]int32, nu)
+	for i := int32(0); i < nu; i++ {
+		next[i] = rowPtr[i] + 1 // slot 0 of each row is the diagonal
+	}
+	for i, nd := range n.Nodes {
+		if unk[i] >= 0 && nd.BC.Kind == network.BCFlow {
+			b[unk[i]] = nd.BC.Value
+		}
+	}
+	add := func(i, j int, c float64) { // i unknown, j any
+		ui := unk[i]
+		diag[ui] += c
+		if uj := unk[j]; uj >= 0 {
+			col[next[ui]] = uj
+			val[next[ui]] = -c
+			next[ui]++
+		} else {
+			b[ui] += c * p[j]
+		}
+	}
+	for si, s := range n.Segs {
+		if unk[s.A] >= 0 {
+			add(s.A, s.B, cond[si])
+		}
+		if unk[s.B] >= 0 {
+			add(s.B, s.A, cond[si])
+		}
+	}
+	for i := int32(0); i < nu; i++ {
+		col[rowPtr[i]] = i
+		val[rowPtr[i]] = diag[i]
+	}
+
+	x := make([]float64, nu)
+	iters, err := cgJacobi(rowPtr, col, val, diag, b, x, tol, maxIter)
+	if err != nil {
+		return nil, iters, err
+	}
+	for i := range n.Nodes {
+		if unk[i] >= 0 {
+			p[i] = x[unk[i]]
+		}
+	}
+	q := make([]float64, len(n.Segs))
+	for si, s := range n.Segs {
+		q[si] = cond[si] * (p[s.A] - p[s.B])
+	}
+	return &network.FlowSolution{P: p, Q: q, Cond: cond}, iters, nil
+}
+
+// cgJacobi runs Jacobi-preconditioned conjugate gradients on the CSR system
+// to a relative residual tolerance, solving in place into x (assumed zero).
+// Returns the iteration count.
+func cgJacobi(rowPtr, col []int32, val, diag, b, x []float64, tol float64, maxIter int) (int, error) {
+	nu := len(b)
+	if nu == 0 {
+		return 0, nil
+	}
+	spmv := func(v, out []float64) {
+		for i := 0; i < nu; i++ {
+			var s float64
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				s += val[k] * v[col[k]]
+			}
+			out[i] = s
+		}
+	}
+	dot := func(a, c []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * c[i]
+		}
+		return s
+	}
+	r := make([]float64, nu)
+	copy(r, b)
+	bNorm := math.Sqrt(dot(b, b))
+	if bNorm == 0 {
+		return 0, nil
+	}
+	z := make([]float64, nu)
+	for i := range z {
+		z[i] = r[i] / diag[i]
+	}
+	d := make([]float64, nu)
+	copy(d, z)
+	ad := make([]float64, nu)
+	rz := dot(r, z)
+	for it := 1; it <= maxIter; it++ {
+		spmv(d, ad)
+		alpha := rz / dot(d, ad)
+		for i := range x {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * ad[i]
+		}
+		if math.Sqrt(dot(r, r)) <= tol*bNorm {
+			return it, nil
+		}
+		for i := range z {
+			z[i] = r[i] / diag[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range d {
+			d[i] = z[i] + beta*d[i]
+		}
+	}
+	return maxIter, fmt.Errorf("surrogate: CG did not reach relative residual %g in %d iterations (got %g)",
+		tol, maxIter, math.Sqrt(dot(r, r))/bNorm)
+}

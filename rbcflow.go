@@ -30,6 +30,7 @@ import (
 	"rbcflow/internal/patch"
 	"rbcflow/internal/rbc"
 	"rbcflow/internal/scenario"
+	"rbcflow/internal/surrogate"
 	"rbcflow/internal/telemetry"
 	"rbcflow/internal/trace"
 	"rbcflow/internal/vessel"
@@ -491,3 +492,60 @@ func WriteSurfaceVTK(w io.Writer, s *Surface, res int, title string) error {
 // ValidateVTK checks a legacy-VTK polydata stream and returns its point and
 // polygon counts.
 func ValidateVTK(r io.Reader) (npts, ncells int, err error) { return scenario.ValidateVTK(r) }
+
+// --- Reduced-order surrogate tier ---
+
+type (
+	// SurrogateParams configures one reduced-order tier solve.
+	SurrogateParams = surrogate.Params
+	// SurrogateResult is a converged surrogate-tier solution.
+	SurrogateResult = surrogate.Result
+	// SurrogateCalibration is the versioned, content-addressed correction
+	// artifact fitted against full BIE reference solves.
+	SurrogateCalibration = surrogate.Calibration
+	// SurrogateReport is the JSON companion of a calibration artifact.
+	SurrogateReport = surrogate.Report
+	// SurrogateBIEReference configures the full boundary-integral reference
+	// measurement of the calibration harness.
+	SurrogateBIEReference = surrogate.BIEReferenceConfig
+)
+
+// SolveSurrogate runs the damped fixed-point coupling of flow,
+// plasma-skimming haematocrit, and Fåhræus–Lindqvist effective viscosity on
+// a network.
+func SolveSurrogate(n *Network, prm SurrogateParams) (*SurrogateResult, error) {
+	return surrogate.Solve(n, prm)
+}
+
+// SolveNetworkFlowVisc is the variable-viscosity reduced-order flow solve:
+// one viscosity per segment (the surrogate tier's inner solver).
+func SolveNetworkFlowVisc(n *Network, mu []float64) (*NetworkFlow, error) {
+	return network.SolveFlowVisc(n, mu)
+}
+
+// ScenarioSurrogate solves a network-family scenario on the surrogate tier
+// at the scenario's own defaults; cal may be nil (uncorrected velocities).
+func ScenarioSurrogate(name string, p ScenarioParams, cal *SurrogateCalibration) (*Network, *SurrogateResult, error) {
+	return scenario.RunSurrogate(name, p, cal)
+}
+
+// CalibrateSurrogate fits the built-in calibration suite (Y bifurcation and
+// depth-2 tree) against full BIE reference solves and returns the
+// content-addressed artifact with its report.
+func CalibrateSurrogate(cfg SurrogateBIEReference, prm SurrogateParams) (*SurrogateCalibration, *SurrogateReport, error) {
+	return surrogate.CalibrateBuiltin(cfg, prm)
+}
+
+// SaveSurrogateCalibration / LoadSurrogateCalibration persist the artifact
+// through the same atomic gob protocol as wall plans and checkpoints.
+func SaveSurrogateCalibration(path string, c *SurrogateCalibration) error {
+	return surrogate.SaveCalibration(path, c)
+}
+func LoadSurrogateCalibration(path string) (*SurrogateCalibration, error) {
+	return surrogate.LoadCalibration(path)
+}
+
+// WriteSurrogateReport writes the human-readable calibration report.
+func WriteSurrogateReport(path string, r *SurrogateReport) error {
+	return surrogate.WriteReport(path, r)
+}
